@@ -1,0 +1,70 @@
+"""Microbenchmarks for the substrates on the simulator's hot paths.
+
+These are conventional pytest-benchmark timings (multiple rounds): the
+Delaunay construction, LDTG build, RWP position queries and the event
+engine dominate the simulation profile, so regressions here translate
+directly into slower experiment harness runs.
+"""
+
+import random
+
+from repro.geometry.delaunay import delaunay_triangulation
+from repro.geometry.primitives import Point
+from repro.graphs.ldt import local_delaunay_graph
+from repro.graphs.udg import unit_disk_graph
+from repro.mobility.base import Region
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.sim.engine import Simulator
+
+
+def _points(n, seed, side=1000.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, side), rng.uniform(0, side)) for _ in range(n)]
+
+
+def test_delaunay_50_points(benchmark):
+    pts = _points(50, 1)
+    tri = benchmark(delaunay_triangulation, pts)
+    assert len(tri.triangles) > 0
+
+
+def test_unit_disk_graph_50_nodes(benchmark):
+    positions = {i: p for i, p in enumerate(_points(50, 2))}
+    graph = benchmark(unit_disk_graph, positions, 200.0)
+    assert graph.edge_count() > 0
+
+
+def test_ldtg_50_nodes(benchmark):
+    positions = {i: p for i, p in enumerate(_points(50, 3))}
+    graph = benchmark(local_delaunay_graph, positions, 200.0, 2)
+    assert graph.edge_count() > 0
+
+
+def test_rwp_position_queries(benchmark):
+    region = Region(1500.0, 300.0)
+    mobility = RandomWaypointMobility(list(range(50)), region, seed=4)
+
+    def query_sweep():
+        total = 0.0
+        for t in range(0, 1000, 10):
+            total += mobility.position(t % 50, float(t)).x
+        return total
+
+    assert benchmark(query_sweep) > 0
+
+
+def test_event_engine_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000

@@ -1,0 +1,153 @@
+"""Custom protocol example: plug your own routing into the simulator.
+
+Implements a tiny "geo-direct" protocol against the public Protocol
+interface: forward to any radio neighbour strictly closer to the
+destination's *true* position (cheating oracle), else wait.  It is
+deliberately naive — the point is to show the full surface a protocol
+implementor touches:
+
+- ``start``         : schedule periodic work through ``api.periodic``
+- ``on_message_created`` / ``on_frame``: the two event entry points
+- ``api.send``      : transmit through the contention MAC
+- storage hooks     : expose occupancy so the metrics pipeline works
+
+Run:
+    python examples/custom_protocol.py
+"""
+
+from repro import Scenario
+from repro.experiments.runner import build_world
+from repro.geometry.primitives import distance
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.sim.messages import (
+    Frame,
+    FrameKind,
+    Message,
+    MessageCopy,
+    data_frame,
+)
+from repro.sim.storage import MessageStore
+from repro.sim.world import Protocol, World, WorldConfig
+from repro.sim.radio import RadioConfig
+from repro.sim.mac import MacConfig
+
+
+class GeoDirectProtocol(Protocol):
+    """Greedy-on-UDG with an oracle destination position."""
+
+    name = "geo_direct"
+
+    def __init__(self):
+        super().__init__()
+        self.buffer = MessageStore()
+
+    def start(self) -> None:
+        assert self.api is not None
+        self.api.periodic(1.0, self._route_round, jitter=0.05)
+
+    def on_message_created(self, message: Message) -> None:
+        self.buffer.add(message.uid, MessageCopy(message=message, branch="geo"))
+
+    def on_frame(self, frame: Frame) -> None:
+        assert self.api is not None
+        if frame.kind is not FrameKind.DATA:
+            return
+        copy: MessageCopy = frame.payload
+        copy = copy.hopped()
+        if copy.message.dest == self.api.node_id:
+            self.api.metrics.on_delivered(
+                copy.message, self.api.now(), copy.hops
+            )
+            return
+        if copy.message.uid not in self.buffer:
+            self.buffer.add(copy.message.uid, copy)
+
+    def _route_round(self) -> None:
+        assert self.api is not None
+        neighbors = self.api.neighbor_positions()
+        if not neighbors:
+            return
+        my_pos = self.api.position()
+        for uid in list(self.buffer.keys()):
+            copy = self.buffer.get(uid)
+            if not isinstance(copy, MessageCopy):
+                continue
+            dest = copy.message.dest
+            if dest in neighbors:
+                target = dest
+            else:
+                dest_pos = self.api.oracle_position_of(dest)
+                closer = {
+                    n: pos
+                    for n, pos in neighbors.items()
+                    if distance(pos, dest_pos) < distance(my_pos, dest_pos)
+                }
+                if not closer:
+                    continue  # wait for mobility
+                target = min(
+                    closer, key=lambda n: distance(closer[n], dest_pos)
+                )
+            if self.api.send(data_frame(self.api.node_id, target, copy)):
+                self.buffer.pop(uid)
+
+    def storage_occupancy(self) -> int:
+        return len(self.buffer)
+
+    def storage_peak(self) -> int:
+        return self.buffer.peak_occupancy
+
+    def sample_storage(self, now: float) -> None:
+        self.buffer.sample(now)
+
+    def storage_time_average(self, horizon: float) -> float:
+        return self.buffer.time_average_occupancy(horizon)
+
+
+def main() -> None:
+    scenario = Scenario(
+        name="custom", radius=100.0, message_count=50, sim_time=240.0, seed=3
+    )
+
+    # Hand-assemble the world for the custom protocol...
+    mobility = RandomWaypointMobility(
+        list(range(scenario.n_nodes)),
+        scenario.region,
+        seed=scenario.seed,
+        max_speed=scenario.max_speed,
+    )
+    world = World(
+        mobility,
+        lambda node: GeoDirectProtocol(),
+        WorldConfig(
+            radio=RadioConfig(range_m=scenario.radius),
+            mac=MacConfig(queue_limit=scenario.queue_limit),
+            seed=scenario.seed,
+        ),
+    )
+    from repro.experiments.workload import generate_workload
+
+    for spec in generate_workload(scenario):
+        world.schedule_message(spec.source, spec.dest, spec.at_time)
+    custom = world.run(until=scenario.sim_time, protocol_name="geo_direct")
+
+    # ...and compare against the built-in GLR on the same scenario.
+    glr_world = build_world(scenario, "glr")
+    glr = glr_world.run(until=scenario.sim_time, protocol_name="glr")
+
+    print(f"{'protocol':<12} {'ratio':>6} {'latency_s':>10} {'hops':>6}")
+    for m in (custom, glr):
+        latency = (
+            f"{m.average_latency:.1f}" if m.average_latency else "n/a"
+        )
+        hops = f"{m.average_hops:.1f}" if m.average_hops else "n/a"
+        print(f"{m.protocol:<12} {m.delivery_ratio:>6.2f} {latency:>10} {hops:>6}")
+
+    print(
+        "\nGeoDirect cheats with oracle positions yet lacks LDTG trees,"
+        " multi-copy flooding, custody and face recovery — compare the"
+        " delivery ratios to see what GLR's machinery buys."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: run GLR against epidemic routing in one paper scenario.
+
+Builds the paper's Table 1 world at 100 m radius with a light message
+load, runs both protocols on identical topology/mobility/workload
+seeds, and prints the headline metrics side by side.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Scenario, run_single
+
+
+def main() -> None:
+    scenario = Scenario(
+        name="quickstart",
+        radius=100.0,  # sparse enough that DTN behaviour matters
+        message_count=80,
+        sim_time=300.0,
+        seed=7,
+    )
+    print(
+        f"Scenario: {scenario.n_nodes} nodes, "
+        f"{scenario.region.width:.0f}x{scenario.region.height:.0f} m, "
+        f"radius {scenario.radius:.0f} m, "
+        f"{scenario.message_count} messages, {scenario.sim_time:.0f} s"
+    )
+    print()
+
+    header = (
+        f"{'protocol':<10} {'delivered':>9} {'ratio':>6} "
+        f"{'latency_s':>9} {'hops':>6} {'max_storage':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for protocol in ("glr", "epidemic"):
+        metrics = run_single(scenario, protocol)
+        latency = (
+            f"{metrics.average_latency:.1f}"
+            if metrics.average_latency is not None
+            else "n/a"
+        )
+        hops = (
+            f"{metrics.average_hops:.1f}"
+            if metrics.average_hops is not None
+            else "n/a"
+        )
+        print(
+            f"{protocol:<10} {metrics.messages_delivered:>9} "
+            f"{metrics.delivery_ratio:>6.2f} {latency:>9} {hops:>6} "
+            f"{metrics.max_peak_storage:>11}"
+        )
+
+    print()
+    print(
+        "Expected: both deliver ~everything; GLR uses more hops but a"
+        " fraction of epidemic's storage."
+    )
+
+
+if __name__ == "__main__":
+    main()

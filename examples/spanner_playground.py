@@ -1,0 +1,81 @@
+"""Spanner playground: build and compare the geometric routing graphs.
+
+Generates a static topology (paper Figure 1 style), builds the unit
+disk graph, Gabriel graph, RNG and the paper's k-LDTG over it, and
+prints the structural comparison: edge counts, planarity, connectivity
+preservation, stretch factor, and a sample MaxDSTD/MinDSTD tree
+extraction between the two most distant nodes (paper Figure 2 style).
+
+Run:
+    python examples/spanner_playground.py
+"""
+
+import itertools
+
+from repro import Point, Region
+from repro.geometry.delaunay import stretch_factor
+from repro.graphs.connectivity import connected_components
+from repro.graphs.faces import is_planar_embedding
+from repro.graphs.gabriel import gabriel_graph
+from repro.graphs.ldt import local_delaunay_graph
+from repro.graphs.rng import relative_neighborhood_graph
+from repro.graphs.trees import Branch, extract_dstd_path
+from repro.graphs.udg import unit_disk_graph
+from repro.mobility.static import uniform_random_positions
+
+
+def describe(name, graph):
+    comps = len(connected_components(graph))
+    planar = is_planar_embedding(graph)
+    points = [graph.positions[n] for n in sorted(graph.positions)]
+    index = {n: i for i, n in enumerate(sorted(graph.positions))}
+    edges = {(index[u], index[v]) for u, v in graph.edges()}
+    stretch = stretch_factor(points, {tuple(sorted(e)) for e in edges})
+    stretch_text = f"{stretch:.2f}" if stretch != float("inf") else "inf"
+    print(
+        f"{name:<10} edges={graph.edge_count():>4} components={comps:>2} "
+        f"planar={str(planar):<5} stretch={stretch_text}"
+    )
+    return graph
+
+
+def main() -> None:
+    region = Region(1000.0, 1000.0)
+    nodes = list(range(50))
+    positions = uniform_random_positions(nodes, region, seed=2)
+    radius = 250.0  # paper Figure 1(a): mostly connected
+
+    print(f"50 nodes in 1000x1000 m, radius {radius:.0f} m\n")
+    udg = describe("UDG", unit_disk_graph(positions, radius))
+    describe("Gabriel", gabriel_graph(positions, radius))
+    describe("RNG", relative_neighborhood_graph(positions, radius))
+    ldt = describe("2-LDTG", local_delaunay_graph(positions, radius, k=2))
+
+    # Paper Figure 2: extract Max/Min DSTD trees between distant nodes.
+    source, dest = max(
+        itertools.combinations(nodes, 2),
+        key=lambda pair: positions[pair[0]].distance_to(positions[pair[1]]),
+    )
+    print(
+        f"\nDSTD trees on the LDTG from node {source} to node {dest} "
+        f"(distance "
+        f"{positions[source].distance_to(positions[dest]):.0f} m):"
+    )
+    for branch in (Branch.MAX, Branch.MIN, Branch.MID):
+        path = extract_dstd_path(ldt, source, dest, branch)
+        arrived = "reached" if path[-1] == dest else "stopped"
+        print(
+            f"  {branch.value:<4} tree: {len(path) - 1:>2} hops, {arrived}"
+            f"  {' -> '.join(str(n) for n in path[:8])}"
+            f"{' ...' if len(path) > 8 else ''}"
+        )
+
+    print(
+        "\nExpected: LDTG/Gabriel/RNG are planar and far sparser than"
+        " the UDG while keeping its components connected; MaxDSTD takes"
+        " fewer, longer hops than MinDSTD."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All project metadata lives in pyproject.toml.  This file exists only so
+that offline environments whose setuptools lacks PEP 660 editable-wheel
+support can still do ``pip install -e .`` (which falls back to
+``setup.py develop`` when this file is present).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro — reproduction of "A Geometric Routing Protocol in Disruption
+Tolerant Network" (Du, Kranakis, Nayak; ICDCS Workshops 2009).
+
+The library layers as the paper does:
+
+- geometry (:mod:`repro.geometry`): Delaunay machinery built from scratch;
+- proximity graphs (:mod:`repro.graphs`): UDG, Gabriel, RNG, the k-local
+  Delaunay triangulation graph (LDTG), DSTD trees, connectivity bounds;
+- mobility (:mod:`repro.mobility`): random waypoint et al.;
+- simulation (:mod:`repro.sim`): event-driven radio/MAC/world substrate;
+- the GLR protocol itself (:mod:`repro.core`) and baselines
+  (:mod:`repro.baselines`);
+- the evaluation harness (:mod:`repro.experiments`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import Scenario, run_single
+
+    scenario = Scenario(radius=100.0, message_count=200, sim_time=600.0)
+    glr = run_single(scenario, "glr")
+    epidemic = run_single(scenario, "epidemic")
+    print(glr.delivery_ratio, glr.average_latency)
+    print(epidemic.delivery_ratio, epidemic.average_latency)
+"""
+
+from repro.analysis import mean_confidence_interval, summarize_metrics
+from repro.baselines import (
+    DirectDeliveryProtocol,
+    EpidemicConfig,
+    EpidemicProtocol,
+    FirstContactProtocol,
+    SprayAndWaitConfig,
+    SprayAndWaitProtocol,
+)
+from repro.core import GLRConfig, GLRProtocol, LocationMode, decide_copies
+from repro.experiments import (
+    PAPER_TABLE1,
+    Scenario,
+    build_world,
+    run_replicates,
+    run_single,
+)
+from repro.geometry import Point, delaunay_triangulation
+from repro.graphs import (
+    SpatialGraph,
+    local_delaunay_graph,
+    unit_disk_graph,
+)
+from repro.mobility import (
+    RandomWaypointMobility,
+    Region,
+    StaticMobility,
+)
+from repro.sim import (
+    Message,
+    RadioConfig,
+    SimulationMetrics,
+    Simulator,
+    World,
+    WorldConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DirectDeliveryProtocol",
+    "EpidemicConfig",
+    "EpidemicProtocol",
+    "FirstContactProtocol",
+    "GLRConfig",
+    "GLRProtocol",
+    "LocationMode",
+    "Message",
+    "PAPER_TABLE1",
+    "Point",
+    "RadioConfig",
+    "RandomWaypointMobility",
+    "Region",
+    "Scenario",
+    "SimulationMetrics",
+    "Simulator",
+    "SpatialGraph",
+    "SprayAndWaitConfig",
+    "SprayAndWaitProtocol",
+    "StaticMobility",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "decide_copies",
+    "delaunay_triangulation",
+    "local_delaunay_graph",
+    "mean_confidence_interval",
+    "run_replicates",
+    "run_single",
+    "summarize_metrics",
+    "unit_disk_graph",
+]

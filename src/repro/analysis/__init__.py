@@ -1,0 +1,24 @@
+"""Statistical analysis and result rendering.
+
+The paper reports every number as "an average of 10 different runs ...
+confidence intervals ... calculated at 90% confidence level".  This
+package reproduces that methodology:
+
+- :mod:`repro.analysis.ci` — Student-t confidence intervals.
+- :mod:`repro.analysis.aggregate` — multi-run metric aggregation.
+- :mod:`repro.analysis.render` — ASCII tables and series, formatted to
+  read like the paper's tables/figure data.
+"""
+
+from repro.analysis.aggregate import MetricSummary, summarize_metrics
+from repro.analysis.ci import ConfidenceInterval, mean_confidence_interval
+from repro.analysis.render import render_series, render_table
+
+__all__ = [
+    "ConfidenceInterval",
+    "MetricSummary",
+    "mean_confidence_interval",
+    "render_series",
+    "render_table",
+    "summarize_metrics",
+]

@@ -1,0 +1,58 @@
+"""Aggregate metrics across replicate simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.ci import ConfidenceInterval, mean_confidence_interval
+from repro.sim.stats import SimulationMetrics
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean ± 90% CI of the paper's headline metrics over replicates.
+
+    ``average_latency``/``average_hops`` summarize only runs that
+    delivered at least one message (matching how the paper can only
+    average over delivered messages).
+    """
+
+    protocol: str
+    runs: int
+    delivery_ratio: ConfidenceInterval
+    average_latency: ConfidenceInterval | None
+    average_hops: ConfidenceInterval | None
+    max_peak_storage: ConfidenceInterval
+    average_peak_storage: ConfidenceInterval
+
+
+def summarize_metrics(runs: Sequence[SimulationMetrics]) -> MetricSummary:
+    """Summarize replicate runs of one configuration."""
+    if not runs:
+        raise ValueError("need at least one run to summarize")
+    protocols = {r.protocol for r in runs}
+    if len(protocols) != 1:
+        raise ValueError(f"mixed protocols in one summary: {protocols}")
+
+    latencies = [
+        r.average_latency for r in runs if r.average_latency is not None
+    ]
+    hops = [float(r.average_hops) for r in runs if r.average_hops is not None]
+    return MetricSummary(
+        protocol=runs[0].protocol,
+        runs=len(runs),
+        delivery_ratio=mean_confidence_interval(
+            [r.delivery_ratio for r in runs]
+        ),
+        average_latency=(
+            mean_confidence_interval(latencies) if latencies else None
+        ),
+        average_hops=mean_confidence_interval(hops) if hops else None,
+        max_peak_storage=mean_confidence_interval(
+            [float(r.max_peak_storage) for r in runs]
+        ),
+        average_peak_storage=mean_confidence_interval(
+            [r.average_peak_storage for r in runs]
+        ),
+    )

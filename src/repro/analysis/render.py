@@ -1,0 +1,52 @@
+"""ASCII rendering of experiment results.
+
+Every benchmark prints its table/figure data through these helpers so
+the harness output can be compared line-by-line with the paper's tables
+and the data series behind its figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A fixed-width table with a title rule, like the paper's tables."""
+    cells = [[str(h) for h in headers]] + [
+        [_format(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = [title, "=" * max(len(title), sum(widths) + 3 * len(widths))]
+    for i, row in enumerate(cells):
+        lines.append(
+            " | ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
+        )
+        if i == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[object]],
+) -> str:
+    """A figure's data as columns: x then one column per curve."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return render_table(title, headers, rows)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

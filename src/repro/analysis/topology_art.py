@@ -1,0 +1,94 @@
+"""ASCII rendering of network topologies (paper Figure 1 style).
+
+The paper's Figure 1 shows two scatter plots of 50 nodes with their
+connectivity edges at 250 m and 100 m radii.  This module renders the
+same information as terminal art so the Figure 1 bench and the examples
+can show the topology rather than just count components.
+
+The plot maps the deployment rectangle onto a character grid; nodes are
+drawn as ``o`` (``@`` for nodes in the largest component) and edges as
+Bresenham lines of ``.`` characters, which is enough to see at a glance
+whether the network is one blob or confetti.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.connectivity import connected_components
+from repro.graphs.udg import SpatialGraph
+
+
+def _bresenham(x0: int, y0: int, x1: int, y1: int):
+    """Integer line rasterization."""
+    dx = abs(x1 - x0)
+    dy = -abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    err = dx + dy
+    x, y = x0, y0
+    while True:
+        yield x, y
+        if x == x1 and y == y1:
+            return
+        e2 = 2 * err
+        if e2 >= dy:
+            err += dy
+            x += sx
+        if e2 <= dx:
+            err += dx
+            y += sy
+
+
+def render_topology(
+    graph: SpatialGraph,
+    width: int = 72,
+    height: int = 24,
+    title: str | None = None,
+) -> str:
+    """Render a spatial graph as ASCII art.
+
+    Nodes in the largest connected component are ``@``; others ``o``;
+    edges are dotted lines.  Coordinates are scaled to the bounding box
+    of the node positions.
+    """
+    positions = graph.positions
+    if not positions:
+        return "(empty topology)"
+    xs = [p.x for p in positions.values()]
+    ys = [p.y for p in positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    def cell(p) -> tuple[int, int]:
+        cx = int((p.x - min_x) / span_x * (width - 1))
+        cy = int((p.y - min_y) / span_y * (height - 1))
+        return cx, (height - 1) - cy  # y grows upward on the plot
+
+    grid = [[" "] * width for _ in range(height)]
+
+    for u, v in graph.edges():
+        (x0, y0), (x1, y1) = cell(positions[u]), cell(positions[v])
+        for x, y in _bresenham(x0, y0, x1, y1):
+            if grid[y][x] == " ":
+                grid[y][x] = "."
+
+    components = connected_components(graph)
+    largest = components[0] if components else set()
+    for node, p in positions.items():
+        x, y = cell(p)
+        grid[y][x] = "@" if node in largest else "o"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"components: {len(components)}, "
+        f"largest: {len(largest)}/{len(positions)} nodes, "
+        f"edges: {graph.edge_count()}"
+    )
+    return "\n".join(lines)

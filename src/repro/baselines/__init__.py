@@ -1,0 +1,36 @@
+"""Baseline DTN routing protocols.
+
+- :mod:`repro.baselines.epidemic` — Vahdat & Becker's epidemic routing,
+  the benchmark the paper compares GLR against everywhere.
+- :mod:`repro.baselines.direct` — direct delivery (source holds until it
+  meets the destination): the lower envelope on overhead.
+- :mod:`repro.baselines.first_contact` — single-copy random hand-off.
+- :mod:`repro.baselines.spray_and_wait` — Spyropoulos et al.'s bounded-
+  copy flooding; a natural midpoint between GLR's controlled copies and
+  epidemic's unbounded ones (extension beyond the paper).
+"""
+
+from repro.baselines.direct import DirectDeliveryProtocol
+from repro.baselines.epidemic import EpidemicConfig, EpidemicProtocol
+from repro.baselines.first_contact import FirstContactProtocol
+from repro.baselines.receipts import (
+    ReceiptEpidemicConfig,
+    ReceiptEpidemicProtocol,
+    ReceiptMode,
+)
+from repro.baselines.spray_and_wait import (
+    SprayAndWaitConfig,
+    SprayAndWaitProtocol,
+)
+
+__all__ = [
+    "DirectDeliveryProtocol",
+    "EpidemicConfig",
+    "EpidemicProtocol",
+    "FirstContactProtocol",
+    "ReceiptEpidemicConfig",
+    "ReceiptEpidemicProtocol",
+    "ReceiptMode",
+    "SprayAndWaitConfig",
+    "SprayAndWaitProtocol",
+]

@@ -1,0 +1,43 @@
+"""Direct delivery: the source carries its message to the destination.
+
+No relaying at all — a message moves only when its source meets its
+destination.  This is the floor of the DTN design space (exactly one
+transmission per delivery, minimal storage, unbounded delay) and a
+useful sanity anchor for the benches: every routing protocol must beat
+its latency and lose to its overhead.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.contact import ContactProtocol
+from repro.graphs.udg import NodeId
+from repro.sim.messages import Frame, FrameKind, MessageCopy, data_frame
+
+
+class DirectDeliveryProtocol(ContactProtocol):
+    """One node's direct-delivery instance."""
+
+    name = "direct"
+
+    def __init__(self, buffer_limit: int | None = None):
+        super().__init__(buffer_limit=buffer_limit)
+
+    def on_tick_with_neighbors(self, neighbors: set[NodeId]) -> None:
+        assert self.api is not None
+        for uid in list(self.buffer.keys()):
+            entry = self.held(uid)
+            if entry is None or entry.message.dest not in neighbors:
+                continue
+            copy = MessageCopy(
+                message=entry.message, branch="direct", hops=entry.hops
+            )
+            if self.api.send(
+                data_frame(self.api.node_id, entry.message.dest, copy)
+            ):
+                self.buffer.pop(uid)
+
+    def on_frame(self, frame: Frame) -> None:
+        if frame.kind is not FrameKind.DATA:
+            return
+        copy: MessageCopy = frame.payload
+        self.deliver_if_mine(copy.hopped())

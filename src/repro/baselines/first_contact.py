@@ -1,0 +1,52 @@
+"""First contact routing: single copy, handed to the first new contact.
+
+The message performs a random walk over the contact graph — one copy in
+the network at any time, handed off whenever a new contact appears (or
+directly to the destination when met).  Low storage like direct
+delivery, but with relay mobility working for it.  Used as an extension
+baseline in the ablation benches.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.contact import ContactProtocol
+from repro.graphs.udg import NodeId
+from repro.sim.messages import Frame, FrameKind, MessageCopy, data_frame
+
+
+class FirstContactProtocol(ContactProtocol):
+    """One node's first-contact instance."""
+
+    name = "first_contact"
+
+    def __init__(self, buffer_limit: int | None = None):
+        super().__init__(buffer_limit=buffer_limit)
+
+    def on_tick_with_neighbors(self, neighbors: set[NodeId]) -> None:
+        assert self.api is not None
+        for uid in list(self.buffer.keys()):
+            entry = self.held(uid)
+            if entry is None:
+                continue
+            target: NodeId | None
+            if entry.message.dest in neighbors:
+                target = entry.message.dest
+            else:
+                # Deterministic pick among current neighbours.
+                target = min(neighbors, key=repr) if neighbors else None
+            if target is None:
+                continue
+            copy = MessageCopy(
+                message=entry.message, branch="first_contact", hops=entry.hops
+            )
+            if self.api.send(data_frame(self.api.node_id, target, copy)):
+                self.buffer.pop(uid)
+
+    def on_frame(self, frame: Frame) -> None:
+        if frame.kind is not FrameKind.DATA:
+            return
+        copy: MessageCopy = frame.payload
+        copy = copy.hopped()
+        if self.deliver_if_mine(copy):
+            return
+        self.hold(copy.message, hops=copy.hops)

@@ -1,0 +1,129 @@
+"""Binary Spray and Wait (Spyropoulos et al.) — bounded-copy flooding.
+
+Each message starts with ``initial_copies`` logical tickets.  A node
+holding more than one ticket *sprays*: on contact it hands the peer
+half of its tickets along with the message.  A node holding exactly one
+ticket *waits*: it delivers only directly to the destination.
+
+This sits between GLR (3 copies, direction-aware) and epidemic
+(unbounded copies, direction-blind): same bounded-copy idea as GLR's
+Algorithm 1, but with no geometric guidance.  The ablation benches use
+it to separate "how much does bounding copies help" from "how much does
+geometry help".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.baselines.contact import ContactProtocol
+from repro.graphs.udg import NodeId
+from repro.sim.messages import Frame, FrameKind, Message, MessageCopy, data_frame
+
+
+@dataclass(frozen=True)
+class SprayAndWaitConfig:
+    """Spray-and-wait parameters.
+
+    Attributes:
+        initial_copies: tickets per new message (power of two sprays
+            cleanly, but any value >= 1 works).
+        buffer_limit: per-node buffer capacity (None = unlimited).
+    """
+
+    initial_copies: int = 8
+    buffer_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.initial_copies < 1:
+            raise ValueError("initial_copies must be >= 1")
+        if self.buffer_limit is not None and self.buffer_limit < 1:
+            raise ValueError("buffer limit must be >= 1")
+
+
+@dataclass
+class _SprayEntry:
+    message: Message
+    hops: int
+    tickets: int
+
+
+class SprayAndWaitProtocol(ContactProtocol):
+    """One node's binary spray-and-wait instance."""
+
+    name = "spray_and_wait"
+
+    def __init__(self, config: SprayAndWaitConfig | None = None):
+        self.config = config if config is not None else SprayAndWaitConfig()
+        super().__init__(buffer_limit=self.config.buffer_limit)
+        self._sprayed_to: dict[int, set[NodeId]] = {}
+
+    def on_message_created(self, message: Message) -> None:
+        self.buffer.add(
+            message.uid,
+            _SprayEntry(
+                message=message, hops=0, tickets=self.config.initial_copies
+            ),
+        )
+
+    def on_tick_with_neighbors(self, neighbors: set[NodeId]) -> None:
+        assert self.api is not None
+        for uid in list(self.buffer.keys()):
+            entry = self.buffer.get(uid)
+            if not isinstance(entry, _SprayEntry):
+                continue
+            if entry.message.dest in neighbors:
+                self._send(entry, entry.message.dest, tickets=1, consume=True)
+                continue
+            if entry.tickets <= 1:
+                continue  # wait phase
+            already = self._sprayed_to.setdefault(uid, set())
+            fresh = sorted(neighbors - already, key=repr)
+            if not fresh:
+                continue
+            peer = fresh[0]
+            give = entry.tickets // 2
+            if self._send(entry, peer, tickets=give, consume=False):
+                entry.tickets -= give
+                already.add(peer)
+
+    def _send(
+        self, entry: _SprayEntry, target: NodeId, tickets: int, consume: bool
+    ) -> bool:
+        assert self.api is not None
+        copy = MessageCopy(
+            message=entry.message,
+            branch="spray",
+            mid_rank=tickets,  # tickets ride in the copy envelope
+            hops=entry.hops,
+        )
+        if not self.api.send(data_frame(self.api.node_id, target, copy)):
+            return False
+        if consume:
+            self.buffer.pop(entry.message.uid)
+            self._sprayed_to.pop(entry.message.uid, None)
+        return True
+
+    def on_frame(self, frame: Frame) -> None:
+        if frame.kind is not FrameKind.DATA:
+            return
+        copy: MessageCopy = frame.payload
+        copy = copy.hopped()
+        if self.deliver_if_mine(copy):
+            return
+        # The sender evidently holds this message: never spray it back.
+        self._sprayed_to.setdefault(copy.message.uid, set()).add(
+            frame.sender
+        )
+        existing = self.buffer.get(copy.message.uid)
+        if isinstance(existing, _SprayEntry):
+            existing.tickets += max(1, copy.mid_rank)
+            return
+        self.buffer.add(
+            copy.message.uid,
+            _SprayEntry(
+                message=copy.message,
+                hops=copy.hops,
+                tickets=max(1, copy.mid_rank),
+            ),
+        )

@@ -1,0 +1,165 @@
+"""Command-line interface: ``glr-repro`` / ``python -m repro.cli``.
+
+Subcommands:
+
+- ``run`` — one simulation with explicit parameters, printing metrics.
+- ``experiment`` — regenerate one of the paper's figures/tables (or an
+  ablation) at bench, spot, or paper effort.
+- ``list`` — enumerate available experiments and protocols.
+
+Examples::
+
+    glr-repro run --protocol glr --radius 100 --messages 200 --sim-time 600
+    glr-repro experiment fig4 --effort bench
+    glr-repro experiment table6 --effort spot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import ablations, figures, tables
+from repro.experiments.common import (
+    BENCH_EFFORT,
+    PAPER_EFFORT,
+    SPOT_EFFORT,
+    Effort,
+)
+from repro.experiments.runner import available_protocols, run_single
+from repro.experiments.scenarios import Scenario
+
+def _fig1_driver(effort: Effort, seed: int):
+    # Figure 1 is a static-topology experiment; effort maps to run count.
+    return figures.fig1_topology(runs=effort.runs * 5, seed=seed)
+
+
+#: Experiment name -> driver accepting (effort=..., seed=...).
+EXPERIMENTS: dict[str, Callable] = {
+    "fig1": _fig1_driver,
+    "fig3": figures.fig3_check_interval,
+    "fig4": figures.fig4_latency_vs_load,
+    "fig5": figures.fig5_latency_vs_load,
+    "fig6": figures.fig6_latency_vs_radius,
+    "fig7": figures.fig7_delivery_vs_storage,
+    "table2": tables.table2_location,
+    "table3": tables.table3_custody,
+    "table4": tables.table4_storage_vs_load,
+    "table5": tables.table5_storage_vs_radius,
+    "table6": tables.table6_hops,
+    "ablation-copies": ablations.ablation_copies,
+    "ablation-spanner": ablations.ablation_spanner,
+    "ablation-face": ablations.ablation_face_routing,
+    "ablation-custody-timeout": ablations.ablation_custody_timeout,
+    "ablation-protocols": ablations.ablation_protocols,
+}
+
+EFFORTS: dict[str, Effort] = {
+    "bench": BENCH_EFFORT,
+    "spot": SPOT_EFFORT,
+    "paper": PAPER_EFFORT,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="glr-repro",
+        description="Reproduction of the GLR DTN routing paper (ICDCS 2009).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("--protocol", default="glr", choices=available_protocols())
+    run_p.add_argument("--radius", type=float, default=100.0)
+    run_p.add_argument("--messages", type=int, default=200)
+    run_p.add_argument("--sim-time", type=float, default=600.0)
+    run_p.add_argument("--nodes", type=int, default=50)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--storage-limit", type=int, default=None)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_p.add_argument("--effort", default="bench", choices=sorted(EFFORTS))
+    exp_p.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="list experiments and protocols")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        name="cli-run",
+        n_nodes=args.nodes,
+        active_nodes=min(45, args.nodes),
+        radius=args.radius,
+        message_count=args.messages,
+        sim_time=args.sim_time,
+        seed=args.seed,
+    )
+    metrics = run_single(
+        scenario, args.protocol, buffer_limit=args.storage_limit
+    )
+    latency = (
+        f"{metrics.average_latency:.2f}s"
+        if metrics.average_latency is not None
+        else "n/a"
+    )
+    hops = (
+        f"{metrics.average_hops:.2f}"
+        if metrics.average_hops is not None
+        else "n/a"
+    )
+    print(f"protocol            {metrics.protocol}")
+    print(f"messages created    {metrics.messages_created}")
+    print(f"messages delivered  {metrics.messages_delivered}")
+    print(f"delivery ratio      {metrics.delivery_ratio:.3f}")
+    print(f"average latency     {latency}")
+    print(f"average hops        {hops}")
+    print(f"max peak storage    {metrics.max_peak_storage}")
+    print(f"avg peak storage    {metrics.average_peak_storage:.2f}")
+    print(f"frames sent         {metrics.frames_sent}")
+    print(f"collision losses    {metrics.frames_lost_collision}")
+    print(f"queue drops         {metrics.frames_dropped_queue}")
+    print(f"events processed    {metrics.events_processed}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS[args.name]
+    effort = EFFORTS[args.effort]
+    result = driver(effort=effort, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("protocols:")
+    for name in available_protocols():
+        print(f"  {name}")
+    print("efforts:")
+    for name, effort in EFFORTS.items():
+        print(
+            f"  {name}: runs={effort.runs} sim_time={effort.sim_time:.0f}s "
+            f"messages={effort.message_count}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

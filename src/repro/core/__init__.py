@@ -1,0 +1,27 @@
+"""GLR — the paper's Geometric Localized Routing protocol.
+
+This package is the primary contribution of the reproduced paper:
+
+- :mod:`repro.core.decision` — Algorithm 1 (delay-tolerant decision
+  making): choose the number of message copies from a connectivity
+  estimate.
+- :mod:`repro.core.location` — destination-location knowledge modes,
+  diffusion helpers, and the stale-location perturbation heuristic.
+- :mod:`repro.core.custody` — Store/Cache custody transfer bookkeeping.
+- :mod:`repro.core.face` — face-routing recovery on the planar LDTG.
+- :mod:`repro.core.protocol` — Algorithm 2 (geometric routing with
+  controlled flooding), tying everything together as a
+  :class:`repro.sim.world.Protocol`.
+"""
+
+from repro.core.decision import CopyDecision, decide_copies
+from repro.core.location import LocationMode
+from repro.core.protocol import GLRConfig, GLRProtocol
+
+__all__ = [
+    "CopyDecision",
+    "GLRConfig",
+    "GLRProtocol",
+    "LocationMode",
+    "decide_copies",
+]

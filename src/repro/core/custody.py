@@ -1,0 +1,91 @@
+"""Custody transfer bookkeeping (paper Section 2.3.2).
+
+The mechanism: a sender keeps every transmitted copy in its **Cache**
+until the next hop acknowledges reception; on ACK the cached copy is
+deleted, and on timeout it is "moved from Cache to Store for another
+round of transfer rescheduling and may or may not choose the same next
+hop this time".
+
+:class:`CustodyManager` pairs a :class:`repro.sim.storage.DualStore`
+with the timeout timers.  It is deliberately independent of the GLR
+protocol class so the custody-off configuration of Table 3 (and any
+other protocol wanting per-hop custody) can reuse it.  Timers are
+injected as a ``schedule(delay, callback) -> handle`` callable, so the
+manager never needs to see the simulator itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Protocol as TypingProtocol
+
+
+class _Cancellable(TypingProtocol):
+    def cancel(self) -> None: ...  # pragma: no cover - structural typing
+
+
+class _DualStoreLike(TypingProtocol):  # pragma: no cover - structural typing
+    def move_to_cache(self, key: Hashable) -> bool: ...
+
+    def acknowledge(self, key: Hashable) -> bool: ...
+
+    def return_to_store(self, key: Hashable) -> bool: ...
+
+
+class CustodyManager:
+    """Tracks sent-but-unacknowledged copies and their retry timers."""
+
+    def __init__(
+        self,
+        schedule: Callable[[float, Callable[[], None]], _Cancellable],
+        store: _DualStoreLike,
+        timeout: float,
+        on_returned: Callable[[Hashable], None] | None = None,
+    ):
+        if timeout <= 0:
+            raise ValueError("custody timeout must be positive")
+        self._schedule = schedule
+        self._store = store
+        self._timeout = timeout
+        self._on_returned = on_returned
+        self._timers: dict[Hashable, _Cancellable] = {}
+        self.acks_received = 0
+        self.timeouts = 0
+
+    def pending(self) -> int:
+        """Copies currently awaiting acknowledgement."""
+        return len(self._timers)
+
+    def on_sent(self, key: Hashable) -> None:
+        """A copy was handed to the MAC: move Store -> Cache, arm timer."""
+        if not self._store.move_to_cache(key):
+            return
+        self._cancel_timer(key)
+        self._timers[key] = self._schedule(
+            self._timeout, lambda: self._on_timeout(key)
+        )
+
+    def on_ack(self, key: Hashable) -> bool:
+        """Receiver confirmed custody: drop from Cache, disarm timer."""
+        self._cancel_timer(key)
+        if self._store.acknowledge(key):
+            self.acks_received += 1
+            return True
+        return False
+
+    def _on_timeout(self, key: Hashable) -> None:
+        self._timers.pop(key, None)
+        if self._store.return_to_store(key):
+            self.timeouts += 1
+            if self._on_returned is not None:
+                self._on_returned(key)
+
+    def _cancel_timer(self, key: Hashable) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+
+    def cancel_all(self) -> None:
+        """Disarm every timer (end of simulation)."""
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()

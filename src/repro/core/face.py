@@ -1,0 +1,96 @@
+"""Face-routing recovery on the planar LDTG (paper Sections 1, 2.3).
+
+When greedy DSTD forwarding reaches a local minimum — no routing-graph
+neighbour is closer to the (believed) destination — and the node is not
+isolated, GLR applies face routing "when nodes enter local minimum",
+leaning on the LDTG being a planar spanner.
+
+The implementation follows the GFG/GPSR recovery pattern:
+
+- **enter**: remember the distance to the destination at the local
+  minimum and take the first edge counter-clockwise from the straight
+  line toward the destination (right-hand rule start);
+- **step**: continue around the current face with the right-hand rule
+  (:func:`repro.graphs.faces.next_edge_on_face`);
+- **exit**: the walk ends as soon as the copy reaches a node strictly
+  closer to the destination than where it entered face mode, resuming
+  greedy forwarding — or gives up after a step budget (mobility will
+  have changed the graph by the next check interval anyway).
+
+The face walk happens hop-by-hop across *different nodes*; its state
+(previous node, entry distance, step count) travels inside the message
+copy header, mirroring how the paper keeps tree flags in the packet.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.primitives import Point
+from repro.graphs.udg import NodeId
+
+
+def _angle(origin: Point, target: Point) -> float:
+    return math.atan2(target.y - origin.y, target.x - origin.x)
+
+
+def first_face_hop(
+    node_pos: Point,
+    dest_pos: Point,
+    neighbor_positions: dict[NodeId, Point],
+) -> NodeId | None:
+    """First edge of a face walk at a local minimum.
+
+    Right-hand rule entry: the first neighbour counter-clockwise from
+    the ray ``node -> destination``.  Returns None when the node has no
+    routing-graph neighbours at all (isolated: store-and-forward is the
+    only option).
+    """
+    if not neighbor_positions:
+        return None
+    base = _angle(node_pos, dest_pos)
+    best: NodeId | None = None
+    best_delta = math.inf
+    for nbr, pos in neighbor_positions.items():
+        delta = (_angle(node_pos, pos) - base) % (2.0 * math.pi)
+        if delta == 0.0:
+            delta = 2.0 * math.pi
+        if delta < best_delta:
+            best_delta = delta
+            best = nbr
+    return best
+
+
+def next_face_hop(
+    node_pos: Point,
+    prev_pos: Point,
+    neighbor_positions: dict[NodeId, Point],
+    prev_id: NodeId,
+) -> NodeId | None:
+    """Continue a face walk: first neighbour CCW after the reverse edge.
+
+    Args:
+        node_pos: current node's position.
+        prev_pos: position of the node the copy arrived from.
+        neighbor_positions: current node's routing-graph neighbours.
+        prev_id: id of the previous node (excluded unless it is the only
+            neighbour, in which case the walk doubles back, as the
+            right-hand rule requires at a dead end).
+    """
+    if not neighbor_positions:
+        return None
+    base = _angle(node_pos, prev_pos)
+    best: NodeId | None = None
+    best_delta = math.inf
+    for nbr, pos in neighbor_positions.items():
+        if nbr == prev_id:
+            continue
+        delta = (_angle(node_pos, pos) - base) % (2.0 * math.pi)
+        if delta == 0.0:
+            delta = 2.0 * math.pi
+        if delta < best_delta:
+            best_delta = delta
+            best = nbr
+    if best is None and prev_id in neighbor_positions:
+        return prev_id
+    return best

@@ -1,0 +1,25 @@
+"""Experiment harness: scenarios, workloads, runners, and the drivers
+that regenerate every table and figure of the paper's evaluation.
+
+See DESIGN.md Section 4 for the experiment-to-module index.
+"""
+
+from repro.experiments.runner import (
+    available_protocols,
+    build_world,
+    run_replicates,
+    run_single,
+)
+from repro.experiments.scenarios import PAPER_TABLE1, Scenario
+from repro.experiments.workload import WorkloadSpec, generate_workload
+
+__all__ = [
+    "PAPER_TABLE1",
+    "Scenario",
+    "WorkloadSpec",
+    "available_protocols",
+    "build_world",
+    "generate_workload",
+    "run_replicates",
+    "run_single",
+]

@@ -1,0 +1,174 @@
+"""Build and run simulation worlds from scenarios.
+
+The runner is the only place where scenario values are translated into
+simulator/protocol configuration, so every experiment driver and bench
+goes through the same code path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.direct import DirectDeliveryProtocol
+from repro.baselines.epidemic import EpidemicConfig, EpidemicProtocol
+from repro.baselines.first_contact import FirstContactProtocol
+from repro.baselines.spray_and_wait import (
+    SprayAndWaitConfig,
+    SprayAndWaitProtocol,
+)
+from repro.core.protocol import GLRConfig, GLRProtocol
+from repro.experiments.scenarios import Scenario
+from repro.experiments.workload import generate_workload
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.sim.mac import MacConfig
+from repro.sim.radio import RadioConfig
+from repro.sim.stats import SimulationMetrics
+from repro.sim.world import Protocol, World, WorldConfig
+
+
+def available_protocols() -> list[str]:
+    """Names accepted by :func:`run_single`'s ``protocol`` argument."""
+    return [
+        "glr",
+        "epidemic",
+        "epidemic_receipts",
+        "direct",
+        "first_contact",
+        "spray_and_wait",
+    ]
+
+
+def _protocol_factory(
+    protocol: str,
+    glr_config: GLRConfig | None,
+    epidemic_config: EpidemicConfig | None,
+    spray_config: SprayAndWaitConfig | None,
+    buffer_limit: int | None,
+) -> Callable[[object], Protocol]:
+    if protocol == "glr":
+        config = glr_config if glr_config is not None else GLRConfig()
+        if buffer_limit is not None and config.storage_limit is None:
+            config = GLRConfig(
+                **{**config.__dict__, "storage_limit": buffer_limit}
+            )
+        return lambda node: GLRProtocol(config)
+    if protocol == "epidemic":
+        config = epidemic_config if epidemic_config is not None else EpidemicConfig()
+        if buffer_limit is not None and config.buffer_limit is None:
+            config = EpidemicConfig(
+                **{**config.__dict__, "buffer_limit": buffer_limit}
+            )
+        return lambda node: EpidemicProtocol(config)
+    if protocol == "epidemic_receipts":
+        from repro.baselines.receipts import (
+            ReceiptEpidemicConfig,
+            ReceiptEpidemicProtocol,
+        )
+
+        receipt_config = ReceiptEpidemicConfig(
+            buffer_limit=buffer_limit
+        )
+        return lambda node: ReceiptEpidemicProtocol(receipt_config)
+    if protocol == "direct":
+        return lambda node: DirectDeliveryProtocol(buffer_limit=buffer_limit)
+    if protocol == "first_contact":
+        return lambda node: FirstContactProtocol(buffer_limit=buffer_limit)
+    if protocol == "spray_and_wait":
+        config = spray_config if spray_config is not None else SprayAndWaitConfig()
+        if buffer_limit is not None and config.buffer_limit is None:
+            config = SprayAndWaitConfig(
+                **{**config.__dict__, "buffer_limit": buffer_limit}
+            )
+        return lambda node: SprayAndWaitProtocol(config)
+    raise ValueError(
+        f"unknown protocol {protocol!r}; choose from {available_protocols()}"
+    )
+
+
+def build_world(
+    scenario: Scenario,
+    protocol: str,
+    glr_config: GLRConfig | None = None,
+    epidemic_config: EpidemicConfig | None = None,
+    spray_config: SprayAndWaitConfig | None = None,
+    buffer_limit: int | None = None,
+) -> World:
+    """Assemble a world for ``scenario`` running ``protocol`` everywhere."""
+    node_ids = list(range(scenario.n_nodes))
+    mobility = RandomWaypointMobility(
+        node_ids=node_ids,
+        region=scenario.region,
+        seed=scenario.seed,
+        min_speed=scenario.min_speed,
+        max_speed=scenario.max_speed,
+        pause_time=scenario.pause_time,
+    )
+    world_config = WorldConfig(
+        radio=RadioConfig(
+            range_m=scenario.radius, data_rate_bps=scenario.data_rate_bps
+        ),
+        mac=MacConfig(queue_limit=scenario.queue_limit),
+        beacon_interval=scenario.beacon_interval,
+        seed=scenario.seed,
+    )
+    factory = _protocol_factory(
+        protocol, glr_config, epidemic_config, spray_config, buffer_limit
+    )
+    world = World(mobility, factory, world_config)
+    for spec in generate_workload(scenario):
+        world.schedule_message(
+            spec.source,
+            spec.dest,
+            spec.at_time,
+            size_bytes=scenario.payload_bytes,
+        )
+    return world
+
+
+def run_single(
+    scenario: Scenario,
+    protocol: str,
+    glr_config: GLRConfig | None = None,
+    epidemic_config: EpidemicConfig | None = None,
+    spray_config: SprayAndWaitConfig | None = None,
+    buffer_limit: int | None = None,
+) -> SimulationMetrics:
+    """Run one simulation to the scenario horizon."""
+    world = build_world(
+        scenario,
+        protocol,
+        glr_config=glr_config,
+        epidemic_config=epidemic_config,
+        spray_config=spray_config,
+        buffer_limit=buffer_limit,
+    )
+    return world.run(until=scenario.sim_time, protocol_name=protocol)
+
+
+def run_replicates(
+    scenario: Scenario,
+    protocol: str,
+    runs: int = 10,
+    glr_config: GLRConfig | None = None,
+    epidemic_config: EpidemicConfig | None = None,
+    spray_config: SprayAndWaitConfig | None = None,
+    buffer_limit: int | None = None,
+) -> list[SimulationMetrics]:
+    """Replicate ``scenario`` over ``runs`` seeds (paper: 10 topologies).
+
+    Seeds are ``scenario.seed + 1000 * i`` so replicate populations are
+    disjoint but reproducible.
+    """
+    if runs < 1:
+        raise ValueError("need at least one run")
+    return [
+        run_single(
+            scenario.with_seed(scenario.seed + 1000 * i),
+            protocol,
+            glr_config=glr_config,
+            epidemic_config=epidemic_config,
+            spray_config=spray_config,
+            buffer_limit=buffer_limit,
+        )
+        for i in range(runs)
+    ]

@@ -1,0 +1,118 @@
+"""Triangulation data structure.
+
+A :class:`Triangulation` stores an indexed point set plus a set of
+triangles over those indices.  It is deliberately simple — triangles as
+sorted index triples, adjacency derived on demand — because the LDTG
+construction only ever queries *edges* and *neighbourhoods* of local
+triangulations over a few dozen points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.geometry.primitives import Point
+
+Edge = tuple[int, int]
+Triangle = tuple[int, int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Canonical (sorted) form of an undirected edge."""
+    return (u, v) if u < v else (v, u)
+
+
+def normalize_triangle(a: int, b: int, c: int) -> Triangle:
+    """Canonical (sorted) form of a triangle."""
+    i, j, k = sorted((a, b, c))
+    return (i, j, k)
+
+
+@dataclass
+class Triangulation:
+    """A set of triangles over an indexed point set.
+
+    Attributes:
+        points: vertex coordinates; triangle indices refer to this list.
+        triangles: set of sorted index triples.
+    """
+
+    points: list[Point]
+    triangles: set[Triangle] = field(default_factory=set)
+
+    def add_triangle(self, a: int, b: int, c: int) -> None:
+        """Insert triangle ``abc`` (indices into :attr:`points`)."""
+        if len({a, b, c}) != 3:
+            raise ValueError(f"degenerate triangle ({a}, {b}, {c})")
+        self.triangles.add(normalize_triangle(a, b, c))
+
+    def edges(self) -> set[Edge]:
+        """All undirected edges appearing in at least one triangle."""
+        result: set[Edge] = set()
+        for a, b, c in self.triangles:
+            result.add(normalize_edge(a, b))
+            result.add(normalize_edge(b, c))
+            result.add(normalize_edge(a, c))
+        return result
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True when edge ``uv`` belongs to some triangle."""
+        return normalize_edge(u, v) in self.edges()
+
+    def neighbors(self, vertex: int) -> set[int]:
+        """Vertices sharing an edge with ``vertex``."""
+        result: set[int] = set()
+        for a, b, c in self.triangles:
+            tri = (a, b, c)
+            if vertex in tri:
+                result.update(tri)
+        result.discard(vertex)
+        return result
+
+    def vertex_count(self) -> int:
+        """Number of points (including any not used by a triangle)."""
+        return len(self.points)
+
+    def triangles_with_edge(self, u: int, v: int) -> list[Triangle]:
+        """Triangles containing undirected edge ``uv`` (0, 1 or 2 of them)."""
+        result = []
+        for tri in self.triangles:
+            if u in tri and v in tri:
+                result.append(tri)
+        return result
+
+    def boundary_edges(self) -> set[Edge]:
+        """Edges that belong to exactly one triangle (the outer boundary)."""
+        count: dict[Edge, int] = {}
+        for a, b, c in self.triangles:
+            for e in (
+                normalize_edge(a, b),
+                normalize_edge(b, c),
+                normalize_edge(a, c),
+            ):
+                count[e] = count.get(e, 0) + 1
+        return {e for e, n in count.items() if n == 1}
+
+    def iter_triangle_points(self) -> Iterator[tuple[Point, Point, Point]]:
+        """Yield each triangle as a coordinate triple."""
+        for a, b, c in self.triangles:
+            yield self.points[a], self.points[b], self.points[c]
+
+    def adjacency(self) -> dict[int, set[int]]:
+        """Full adjacency map (vertex -> set of neighbouring vertices)."""
+        adj: dict[int, set[int]] = {i: set() for i in range(len(self.points))}
+        for u, v in self.edges():
+            adj[u].add(v)
+            adj[v].add(u)
+        return adj
+
+
+def edges_of(triples: Iterable[Triangle]) -> set[Edge]:
+    """Undirected edge set of an iterable of triangles."""
+    result: set[Edge] = set()
+    for a, b, c in triples:
+        result.add(normalize_edge(a, b))
+        result.add(normalize_edge(b, c))
+        result.add(normalize_edge(a, c))
+    return result

@@ -1,0 +1,43 @@
+"""Proximity graphs and routing structures over planar point sets.
+
+This package builds every graph the paper routes on:
+
+- :mod:`repro.graphs.udg` — the unit-disk graph (physical connectivity).
+- :mod:`repro.graphs.ldt` — the k-local Delaunay triangulation graph
+  (k-LDTG), the paper's routing spanner.
+- :mod:`repro.graphs.gabriel` / :mod:`repro.graphs.rng` — classic planar
+  proximity graphs, used as ablation spanners.
+- :mod:`repro.graphs.connectivity` — component analysis plus the
+  Georgiou et al. connectivity-probability estimate that drives the
+  paper's Algorithm 1 (copy-count decision).
+- :mod:`repro.graphs.trees` — MaxDSTD / MinDSTD / MidDSTD source-to-
+  destination tree extraction (paper Section 2.3, Figure 2).
+- :mod:`repro.graphs.faces` — planar face traversal for face routing.
+"""
+
+from repro.graphs.connectivity import (
+    connected_components,
+    connectivity_confidence,
+    critical_radius,
+    is_connected,
+)
+from repro.graphs.gabriel import gabriel_graph
+from repro.graphs.ldt import local_delaunay_graph
+from repro.graphs.rng import relative_neighborhood_graph
+from repro.graphs.trees import Branch, dstd_next_hop, extract_dstd_path
+from repro.graphs.udg import SpatialGraph, unit_disk_graph
+
+__all__ = [
+    "Branch",
+    "SpatialGraph",
+    "connected_components",
+    "connectivity_confidence",
+    "critical_radius",
+    "dstd_next_hop",
+    "extract_dstd_path",
+    "gabriel_graph",
+    "is_connected",
+    "local_delaunay_graph",
+    "relative_neighborhood_graph",
+    "unit_disk_graph",
+]

@@ -1,0 +1,161 @@
+"""Connectivity analysis and the Georgiou et al. critical-radius bound.
+
+The paper's Algorithm 1 decides how many message copies to spawn from an
+estimate of how likely the network is to be connected:
+
+    "for any positive real number s, the network G(P, r_n) with a set P
+    of n nodes and radius r_n is connected with probability of at least
+    1 - 1/s, for r_n >= sqrt((ln n + ln s) / (n * pi))."
+
+The bound is stated for n points uniform in the unit square; we rescale
+by the deployment area so the same estimate applies to the paper's
+1500 m x 300 m and 1000 m x 1000 m regions.  Inverting the bound for a
+given radius yields the confidence value the decision procedure
+thresholds on (see :mod:`repro.core.decision`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Mapping
+
+from repro.graphs.udg import NodeId, SpatialGraph
+
+
+def connected_components(graph: SpatialGraph) -> list[set[NodeId]]:
+    """Connected components via BFS, largest first."""
+    seen: set[NodeId] = set()
+    components: list[set[NodeId]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        comp = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    comp.add(v)
+                    queue.append(v)
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: SpatialGraph) -> bool:
+    """True when the graph has at most one connected component."""
+    return len(connected_components(graph)) <= 1
+
+
+def largest_component_fraction(graph: SpatialGraph) -> float:
+    """Fraction of nodes in the largest component (1.0 when connected)."""
+    nodes = graph.nodes()
+    if not nodes:
+        return 1.0
+    components = connected_components(graph)
+    return len(components[0]) / len(nodes)
+
+
+def reachable_pair_fraction(graph: SpatialGraph) -> float:
+    """Fraction of ordered node pairs connected by some path.
+
+    This is the upper bound on what any single-snapshot routing protocol
+    can deliver instantaneously; the DTN setting exists precisely because
+    this fraction is far below 1 for sparse radii (paper Figure 1b).
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n < 2:
+        return 1.0
+    total_pairs = n * (n - 1)
+    reachable = 0
+    for comp in connected_components(graph):
+        size = len(comp)
+        reachable += size * (size - 1)
+    return reachable / total_pairs
+
+
+def shortest_path_hops(
+    graph: SpatialGraph, source: NodeId, target: NodeId
+) -> int | None:
+    """Hop count of the shortest path, or None when disconnected."""
+    if source == target:
+        return 0
+    seen = {source}
+    queue: deque[tuple[NodeId, int]] = deque([(source, 0)])
+    while queue:
+        u, d = queue.popleft()
+        for v in graph.neighbors(u):
+            if v == target:
+                return d + 1
+            if v not in seen:
+                seen.add(v)
+                queue.append((v, d + 1))
+    return None
+
+
+def critical_radius(n: int, s: float, area: float = 1.0) -> float:
+    """Radius at which G(P, r) is connected w.p. >= 1 - 1/s.
+
+    Georgiou et al.'s bound rescaled from the unit square to a deployment
+    region of the given ``area``.
+
+    Args:
+        n: number of nodes (>= 2).
+        s: confidence parameter (> 1); larger s = higher confidence.
+        area: deployment area in square metres.
+    """
+    if n < 2:
+        raise ValueError("connectivity bound needs at least two nodes")
+    if s <= 1.0:
+        raise ValueError("confidence parameter s must exceed 1")
+    if area <= 0.0:
+        raise ValueError("area must be positive")
+    return math.sqrt((math.log(n) + math.log(s)) * area / (n * math.pi))
+
+
+def connectivity_confidence(n: int, radius: float, area: float = 1.0) -> float:
+    """Lower bound on connectivity probability for a given radius.
+
+    Inverts :func:`critical_radius`: solves for ``s`` and returns
+    ``max(0, 1 - 1/s)``.  A value near 1 means the network is almost
+    surely connected (use a single message copy); a value near 0 means
+    connectivity cannot be certified (flood multiple copies).
+    """
+    if n < 2:
+        raise ValueError("connectivity bound needs at least two nodes")
+    if radius <= 0.0:
+        raise ValueError("radius must be positive")
+    if area <= 0.0:
+        raise ValueError("area must be positive")
+    log_s = (n * math.pi * radius * radius) / area - math.log(n)
+    if log_s <= 0.0:
+        return 0.0
+    s = math.exp(log_s)
+    return max(0.0, 1.0 - 1.0 / s)
+
+
+def average_degree(graph: SpatialGraph) -> float:
+    """Mean node degree (0 for an empty graph)."""
+    nodes = graph.nodes()
+    if not nodes:
+        return 0.0
+    return 2.0 * graph.edge_count() / len(nodes)
+
+
+def density_report(
+    positions: Mapping[NodeId, object], radius: float, area: float
+) -> dict[str, float]:
+    """Summary used by examples and the Figure 1 experiment driver."""
+    n = len(positions)
+    conf = connectivity_confidence(n, radius, area) if n >= 2 else 1.0
+    return {
+        "nodes": float(n),
+        "radius": radius,
+        "area": area,
+        "node_density_per_m2": n / area if area else math.inf,
+        "connectivity_confidence": conf,
+    }

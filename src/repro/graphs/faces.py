@@ -1,0 +1,156 @@
+"""Planar face traversal — the machinery behind face routing.
+
+Face routing (Bose, Morin, Stojmenović & Urrutia) walks the boundary of
+the planar face intersected by the source–destination line using the
+right-hand rule.  GLR invokes it when greedy DSTD forwarding reaches a
+local minimum on a *connected* patch of the LDTG (paper Sections 1/2.3).
+
+The key primitive is :func:`next_edge_on_face`: given the directed edge
+``prev -> cur`` just traversed, return the next neighbour of ``cur`` in
+clockwise (right-hand rule) or counter-clockwise order after the reverse
+edge ``cur -> prev``.  Iterating it walks a face boundary of any planar
+straight-line graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.geometry.primitives import Point, segments_cross_interior
+from repro.graphs.udg import NodeId, SpatialGraph
+
+
+def _angle(origin: Point, target: Point) -> float:
+    return math.atan2(target.y - origin.y, target.x - origin.x)
+
+
+def next_edge_on_face(
+    graph: SpatialGraph,
+    prev: NodeId,
+    cur: NodeId,
+    clockwise: bool = True,
+) -> NodeId | None:
+    """Next node after traversing ``prev -> cur`` along the current face.
+
+    With ``clockwise=True`` this implements the right-hand rule (the
+    next edge is the first one counter-clockwise from ``cur -> prev``),
+    which traverses interior faces in clockwise orientation.  Returns
+    None for an isolated ``cur``; returns ``prev`` when ``cur`` has no
+    other neighbour (dead end — the walk doubles back, as face routing
+    requires).
+    """
+    neighbors = graph.neighbors(cur)
+    if not neighbors:
+        return None
+    cur_pos = graph.positions[cur]
+    base = _angle(cur_pos, graph.positions[prev])
+    best_node: NodeId | None = None
+    best_key = math.inf
+    for nbr in neighbors:
+        if nbr == prev:
+            continue
+        ang = _angle(cur_pos, graph.positions[nbr])
+        delta = (ang - base) % (2.0 * math.pi)
+        if not clockwise:
+            delta = (2.0 * math.pi - delta) % (2.0 * math.pi)
+        if delta == 0.0:
+            delta = 2.0 * math.pi
+        if delta < best_key:
+            best_key = delta
+            best_node = nbr
+    if best_node is None:
+        return prev  # dead end: only way onward is back along the edge
+    return best_node
+
+
+def trace_face(
+    graph: SpatialGraph,
+    start: NodeId,
+    first: NodeId,
+    clockwise: bool = True,
+    max_steps: int | None = None,
+) -> list[NodeId]:
+    """Walk the face containing directed edge ``start -> first``.
+
+    Returns the cycle of nodes visited until the starting directed edge
+    repeats (a closed face) or ``max_steps`` is exhausted.
+    """
+    limit = max_steps if max_steps is not None else 4 * max(
+        1, graph.edge_count()
+    )
+    walk = [start, first]
+    prev, cur = start, first
+    for _ in range(limit):
+        nxt = next_edge_on_face(graph, prev, cur, clockwise)
+        if nxt is None:
+            break
+        prev, cur = cur, nxt
+        if (prev, cur) == (start, first):
+            break
+        walk.append(cur)
+    return walk
+
+
+def enumerate_faces(graph: SpatialGraph) -> list[list[NodeId]]:
+    """All faces of a planar straight-line graph, as vertex cycles.
+
+    Every undirected edge is traversed once in each direction; each
+    directed edge belongs to exactly one face.  The unbounded outer face
+    appears as one of the cycles.  Euler's formula ``v - e + f = 1 + c``
+    over these faces is asserted by the test suite as a planarity
+    certificate.
+    """
+    visited: set[tuple[NodeId, NodeId]] = set()
+    faces: list[list[NodeId]] = []
+    for u in graph.nodes():
+        for v in graph.neighbors(u):
+            if (u, v) in visited:
+                continue
+            face = [u]
+            prev, cur = u, v
+            visited.add((u, v))
+            while True:
+                face.append(cur)
+                nxt = next_edge_on_face(graph, prev, cur, clockwise=True)
+                if nxt is None:
+                    break
+                prev, cur = cur, nxt
+                if (prev, cur) in visited:
+                    break
+                visited.add((prev, cur))
+            faces.append(face[:-1] if len(face) > 1 and face[-1] == face[0] else face)
+    return faces
+
+
+def is_planar_embedding(graph: SpatialGraph) -> bool:
+    """Certify that no two edges cross in their interiors.
+
+    O(e^2) sweep over edge pairs — an oracle for the test suite, used to
+    verify the paper's claim that the k-LDTG construction is planar.
+    """
+    edges = list(graph.edges())
+    for i in range(len(edges)):
+        u1, v1 = edges[i]
+        p1, p2 = graph.positions[u1], graph.positions[v1]
+        for j in range(i + 1, len(edges)):
+            u2, v2 = edges[j]
+            q1, q2 = graph.positions[u2], graph.positions[v2]
+            if segments_cross_interior(p1, p2, q1, q2):
+                return False
+    return True
+
+
+def crossing_edge_pairs(
+    graph: SpatialGraph,
+) -> Iterable[tuple[tuple[NodeId, NodeId], tuple[NodeId, NodeId]]]:
+    """Yield the edge pairs that cross — diagnostic companion of the above."""
+    edges = list(graph.edges())
+    for i in range(len(edges)):
+        u1, v1 = edges[i]
+        p1, p2 = graph.positions[u1], graph.positions[v1]
+        for j in range(i + 1, len(edges)):
+            u2, v2 = edges[j]
+            q1, q2 = graph.positions[u2], graph.positions[v2]
+            if segments_cross_interior(p1, p2, q1, q2):
+                yield edges[i], edges[j]

@@ -1,0 +1,50 @@
+"""Relative neighbourhood graph (RNG) construction.
+
+An edge ``uv`` belongs to the RNG when no third point ``w`` is closer to
+both endpoints than they are to each other (no ``w`` in the "lune" of
+``uv``).  RNG ⊆ Gabriel ⊆ Delaunay, and the RNG is the sparsest of the
+classic planar proximity graphs — useful as the extreme point of the
+spanner ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.geometry.primitives import Point, distance_sq
+from repro.graphs.udg import NodeId, SpatialGraph, unit_disk_graph
+
+
+def relative_neighborhood_graph(
+    positions: Mapping[NodeId, Point], radius: float | None = None
+) -> SpatialGraph:
+    """RNG over ``positions``, optionally restricted to UDG edges."""
+    nodes = list(positions)
+    graph = SpatialGraph()
+    for n in nodes:
+        graph.add_node(n, positions[n])
+
+    if radius is not None:
+        candidate = unit_disk_graph(positions, radius)
+        pairs = candidate.edges()
+    else:
+        pairs = {
+            (nodes[i], nodes[j])
+            for i in range(len(nodes))
+            for j in range(i + 1, len(nodes))
+        }
+
+    for u, v in pairs:
+        pu, pv = positions[u], positions[v]
+        d_uv = distance_sq(pu, pv)
+        blocked = False
+        for w in nodes:
+            if w == u or w == v:
+                continue
+            pw = positions[w]
+            if distance_sq(pu, pw) < d_uv and distance_sq(pv, pw) < d_uv:
+                blocked = True
+                break
+        if not blocked:
+            graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,190 @@
+"""Source-to-destination tree extraction (MaxDSTD / MinDSTD / MidDSTD).
+
+Paper Section 2.3: from the LDTG, the source extracts up to three trees
+oriented from source toward destination.
+
+- **MaxDSTD** — each node forwards to the neighbour making *maximum*
+  progress (the neighbour closest to the destination).
+- **MinDSTD** — the neighbour making *minimum* (but still positive)
+  progress.
+- **MidDSTD** — a neighbour making *median* progress; when more than
+  three copies are requested, several distinct mid-progress neighbours
+  can seed additional branches.
+
+"Progress" follows the greedy-routing convention: neighbour ``v`` makes
+progress for destination ``d`` from node ``u`` iff
+``dist(v, d) < dist(u, d)``.  When no neighbour makes progress the node
+is a *local minimum* and the protocol falls back to store-and-forward or
+face routing (paper Section 2.2/2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping, Sequence
+
+from repro.geometry.primitives import Point, distance
+from repro.graphs.udg import NodeId, SpatialGraph
+
+
+class Branch(enum.Enum):
+    """Which DSTD tree a message copy travels along (its paper 'flag')."""
+
+    MAX = "max"
+    MIN = "min"
+    MID = "mid"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def progress_candidates(
+    node_pos: Point,
+    dest_pos: Point,
+    neighbor_positions: Mapping[NodeId, Point],
+    min_progress: float = 0.0,
+) -> list[tuple[NodeId, float]]:
+    """Neighbours strictly closer to the destination, nearest first.
+
+    Returns ``(neighbor, distance_to_destination)`` sorted ascending by
+    that distance, with node id as a deterministic tiebreak.
+
+    ``min_progress`` is a hysteresis margin (metres): a neighbour counts
+    only when it is at least that much closer to the destination.  A
+    static tree extraction uses 0; the live protocol uses a fraction of
+    the radio range so that two drifting nodes do not hand a message
+    back and forth on every beacon refresh.
+    """
+    own = distance(node_pos, dest_pos)
+    threshold = own - min_progress
+    candidates = [
+        (nbr, distance(pos, dest_pos))
+        for nbr, pos in neighbor_positions.items()
+        if distance(pos, dest_pos) < threshold
+    ]
+    candidates.sort(key=lambda item: (item[1], repr(item[0])))
+    return candidates
+
+
+def dstd_next_hop(
+    node_pos: Point,
+    dest_pos: Point,
+    neighbor_positions: Mapping[NodeId, Point],
+    branch: Branch,
+    mid_rank: int = 0,
+    min_progress: float = 0.0,
+) -> NodeId | None:
+    """Next hop along the given DSTD branch, or None at a local minimum.
+
+    Args:
+        node_pos: position of the forwarding node.
+        dest_pos: (believed) destination position.
+        neighbor_positions: positions of the node's *routing-graph*
+            neighbours (LDTG neighbours in GLR).
+        branch: which tree the message copy follows.
+        mid_rank: for ``Branch.MID`` with > 3 copies, selects the
+            ``mid_rank``-th distinct mid-progress neighbour (0 = median).
+        min_progress: hysteresis margin in metres (see
+            :func:`progress_candidates`).
+    """
+    candidates = progress_candidates(
+        node_pos, dest_pos, neighbor_positions, min_progress
+    )
+    if not candidates:
+        return None
+    if branch is Branch.MAX:
+        return candidates[0][0]
+    if branch is Branch.MIN:
+        return candidates[-1][0]
+    # MID: walk outward from the median so extra branches stay distinct
+    # from MAX (index 0) and MIN (index -1) when enough candidates exist.
+    if len(candidates) == 1:
+        return candidates[0][0]
+    interior = candidates[1:-1] or candidates
+    index = min(len(interior) - 1, max(0, len(interior) // 2 + mid_rank))
+    return interior[index][0]
+
+
+def branch_assignment(copies: int) -> list[tuple[Branch, int]]:
+    """Branches (with mid ranks) used for a given copy count.
+
+    1 copy  -> [MAX]
+    2 copies -> [MAX, MIN]
+    3 copies -> [MAX, MIN, MID]
+    c > 3   -> MAX, MIN, then (c - 2) distinct MID branches, mirroring
+    the paper: "If more than three identical message copies are needed
+    ... multiple MidDSTD trees are extracted."
+    """
+    if copies < 1:
+        raise ValueError("at least one copy is required")
+    if copies == 1:
+        return [(Branch.MAX, 0)]
+    if copies == 2:
+        return [(Branch.MAX, 0), (Branch.MIN, 0)]
+    branches: list[tuple[Branch, int]] = [(Branch.MAX, 0), (Branch.MIN, 0)]
+    for rank in range(copies - 2):
+        # Alternate around the median: 0, -1, +1, -2, +2, ...
+        offset = (rank + 1) // 2 if rank % 2 else -(rank // 2)
+        branches.append((Branch.MID, offset))
+    return branches
+
+
+def extract_dstd_path(
+    graph: SpatialGraph,
+    source: NodeId,
+    dest: NodeId,
+    branch: Branch,
+    max_hops: int | None = None,
+) -> list[NodeId]:
+    """Follow one DSTD tree branch through a static graph snapshot.
+
+    Reproduces paper Figure 2's tree walks: starting at ``source``, each
+    node hands the message to its branch-selected neighbour until the
+    destination is reached or a local minimum stops progress.  Returns
+    the visited node sequence (always starting with ``source``; ends with
+    ``dest`` on success).
+    """
+    if source not in graph.positions or dest not in graph.positions:
+        raise KeyError("source and destination must be graph nodes")
+    limit = max_hops if max_hops is not None else len(graph.positions) * 2
+    dest_pos = graph.positions[dest]
+    path = [source]
+    current = source
+    for _ in range(limit):
+        if current == dest:
+            break
+        neighbor_positions = {
+            n: graph.positions[n] for n in graph.neighbors(current)
+        }
+        nxt = dstd_next_hop(
+            graph.positions[current], dest_pos, neighbor_positions, branch
+        )
+        if nxt is None:
+            break
+        path.append(nxt)
+        current = nxt
+    return path
+
+
+def extract_dstd_tree(
+    graph: SpatialGraph,
+    source: NodeId,
+    dest: NodeId,
+    copies: int,
+) -> dict[tuple[Branch, int], list[NodeId]]:
+    """All branch paths a ``copies``-way controlled flood would take."""
+    return {
+        (branch, rank): extract_dstd_path(graph, source, dest, branch)
+        for branch, rank in branch_assignment(copies)
+    }
+
+
+def tree_edge_set(
+    paths: Sequence[list[NodeId]],
+) -> set[tuple[NodeId, NodeId]]:
+    """Union of directed edges across branch paths (for analysis plots)."""
+    edges: set[tuple[NodeId, NodeId]] = set()
+    for path in paths:
+        for u, v in zip(path, path[1:]):
+            edges.add((u, v))
+    return edges

@@ -1,0 +1,33 @@
+"""Mobility models and movement traces.
+
+The paper's scenarios use the random waypoint model (uniform 0–20 m/s,
+pause time 0 s) inside a rectangular region.  Models here expose a
+single query — :meth:`~repro.mobility.base.MobilityModel.position` — and
+compute trajectories analytically, so the simulator can ask for any
+node's position at any instant without stepping a clock.
+
+- :mod:`repro.mobility.base` — interface and shared helpers.
+- :mod:`repro.mobility.static` — fixed placements (Figure 1 topologies).
+- :mod:`repro.mobility.random_waypoint` — the paper's motion pattern.
+- :mod:`repro.mobility.random_walk` — bounded random walk (extension).
+- :mod:`repro.mobility.traces` — ns-2 ``setdest`` import/export and
+  trace-driven replay.
+"""
+
+from repro.mobility.base import MobilityModel, Region
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.static import StaticMobility, uniform_random_positions
+from repro.mobility.traces import TraceMobility, load_ns2_trace, save_ns2_trace
+
+__all__ = [
+    "MobilityModel",
+    "RandomWalkMobility",
+    "RandomWaypointMobility",
+    "Region",
+    "StaticMobility",
+    "TraceMobility",
+    "load_ns2_trace",
+    "save_ns2_trace",
+    "uniform_random_positions",
+]

@@ -1,0 +1,134 @@
+"""Tests for confidence intervals and aggregation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.aggregate import summarize_metrics
+from repro.analysis.ci import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    t_critical_90,
+)
+from repro.sim.stats import SimulationMetrics
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical_90(1) == pytest.approx(6.314)
+        assert t_critical_90(9) == pytest.approx(1.833)  # paper: 10 runs
+        assert t_critical_90(30) == pytest.approx(1.697)
+
+    def test_interpolates_down_to_nearest_table_entry(self):
+        assert t_critical_90(27) == t_critical_90(25)
+
+    def test_large_df_approaches_normal(self):
+        assert t_critical_90(10_000) == pytest.approx(1.658, abs=0.02)
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError):
+            t_critical_90(0)
+
+
+class TestMeanCI:
+    def test_single_sample_zero_width(self):
+        ci = mean_confidence_interval([5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+
+    def test_identical_samples_zero_width(self):
+        ci = mean_confidence_interval([3.0] * 10)
+        assert ci.half_width == 0.0
+
+    def test_known_interval(self):
+        # Samples 1..10: mean 5.5, sd ~3.028, sem ~0.9574, t(9)=1.833.
+        ci = mean_confidence_interval([float(i) for i in range(1, 11)])
+        assert ci.mean == pytest.approx(5.5)
+        assert ci.half_width == pytest.approx(1.833 * 3.0277 / math.sqrt(10), rel=1e-3)
+
+    def test_bounds(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, n=5)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+
+    def test_str_formatting(self):
+        assert str(ConfidenceInterval(10.0, 2.5, 5)) == "10.00±2.50"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_only_90_percent_supported(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=0.95)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e5, max_value=1e5),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_mean_inside_interval(self, samples):
+        ci = mean_confidence_interval(samples)
+        assert ci.low <= ci.mean <= ci.high
+
+    @given(st.floats(min_value=-100, max_value=100), st.integers(2, 20))
+    def test_shifted_samples_shift_mean(self, shift, n):
+        base = [float(i) for i in range(n)]
+        ci1 = mean_confidence_interval(base)
+        ci2 = mean_confidence_interval([x + shift for x in base])
+        assert ci2.mean == pytest.approx(ci1.mean + shift, abs=1e-6)
+        assert ci2.half_width == pytest.approx(ci1.half_width, abs=1e-6)
+
+
+def make_metrics(protocol="glr", ratio=1.0, latency=10.0, hops=5.0):
+    return SimulationMetrics(
+        protocol=protocol,
+        duration=100.0,
+        messages_created=10,
+        messages_delivered=int(10 * ratio),
+        delivery_ratio=ratio,
+        average_latency=latency,
+        average_hops=hops,
+        max_peak_storage=7,
+        average_peak_storage=3.5,
+        time_average_storage=2.0,
+        frames_sent=100,
+        frames_delivered=90,
+        frames_lost_collision=5,
+        frames_lost_range=5,
+        frames_dropped_queue=0,
+        retries=3,
+        data_bytes_sent=1000,
+        control_bytes_sent=100,
+        events_processed=1000,
+    )
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        runs = [make_metrics(latency=10.0), make_metrics(latency=20.0)]
+        summary = summarize_metrics(runs)
+        assert summary.protocol == "glr"
+        assert summary.runs == 2
+        assert summary.average_latency.mean == pytest.approx(15.0)
+        assert summary.delivery_ratio.mean == pytest.approx(1.0)
+
+    def test_mixed_protocols_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_metrics(
+                [make_metrics("glr"), make_metrics("epidemic")]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_metrics([])
+
+    def test_all_undelivered_runs_have_no_latency(self):
+        runs = [make_metrics(ratio=0.0, latency=None, hops=None)]
+        summary = summarize_metrics(runs)
+        assert summary.average_latency is None
+        assert summary.average_hops is None

@@ -1,0 +1,47 @@
+"""Tests for ASCII table/series rendering."""
+
+from repro.analysis.render import render_series, render_table
+
+
+class TestRenderTable:
+    def test_contains_title_headers_and_rows(self):
+        text = render_table(
+            "Table X", ["col1", "col2"], [["a", 1], ["b", 2.5]]
+        )
+        assert "Table X" in text
+        assert "col1" in text
+        assert "2.50" in text  # float formatting
+        assert "a" in text
+
+    def test_column_alignment(self):
+        text = render_table(
+            "T", ["a", "b"], [["xxxx", "y"], ["x", "yyyy"]]
+        )
+        lines = text.splitlines()
+        data_lines = lines[2:]
+        widths = {len(line) for line in data_lines}
+        assert len(widths) == 1  # all rows same rendered width
+
+    def test_empty_rows(self):
+        text = render_table("Empty", ["a"], [])
+        assert "Empty" in text
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_series_layout(self):
+        text = render_series(
+            "Fig Y",
+            "x",
+            [1, 2, 3],
+            {"glr": [10, 20, 30], "epidemic": [11, 21, 31]},
+        )
+        assert "Fig Y" in text
+        assert "glr" in text
+        assert "epidemic" in text
+        assert "21" in text
+
+    def test_each_x_becomes_a_row(self):
+        text = render_series("F", "x", [1, 2], {"s": ["a", "b"]})
+        lines = [l for l in text.splitlines() if l and l[0].isdigit()]
+        assert len(lines) == 2

@@ -1,0 +1,56 @@
+"""Tests for the ASCII topology renderer."""
+
+from repro.analysis.topology_art import render_topology
+from repro.geometry.primitives import Point
+from repro.graphs.udg import SpatialGraph, unit_disk_graph
+from repro.mobility.base import Region
+from repro.mobility.static import uniform_random_positions
+
+
+class TestRenderTopology:
+    def test_empty_graph(self):
+        assert "empty" in render_topology(SpatialGraph())
+
+    def test_single_node(self):
+        g = SpatialGraph()
+        g.add_node(0, Point(5, 5))
+        art = render_topology(g, width=10, height=5)
+        assert "@" in art  # single node is its own largest component
+
+    def test_connected_pair_drawn_with_edge(self):
+        positions = {0: Point(0, 0), 1: Point(100, 100)}
+        g = unit_disk_graph(positions, 200.0)
+        art = render_topology(g, width=20, height=10)
+        assert art.count("@") == 2
+        assert "." in art  # edge dots
+
+    def test_disconnected_node_marked_differently(self):
+        positions = {
+            0: Point(0, 0),
+            1: Point(10, 0),
+            2: Point(1000, 1000),
+        }
+        g = unit_disk_graph(positions, 50.0)
+        art = render_topology(g, width=30, height=10)
+        assert "@" in art and "o" in art
+
+    def test_title_and_summary_line(self):
+        positions = uniform_random_positions(
+            list(range(20)), Region(500, 500), seed=1
+        )
+        g = unit_disk_graph(positions, 150.0)
+        art = render_topology(g, title="Figure 1 (a)")
+        assert art.startswith("Figure 1 (a)")
+        assert "components:" in art
+        assert "edges:" in art
+
+    def test_grid_dimensions(self):
+        positions = uniform_random_positions(
+            list(range(10)), Region(500, 500), seed=2
+        )
+        g = unit_disk_graph(positions, 100.0)
+        art = render_topology(g, width=40, height=12)
+        lines = art.splitlines()
+        border_lines = [l for l in lines if l.startswith("+")]
+        assert len(border_lines) == 2
+        assert all(len(l) == 42 for l in lines if l.startswith("|"))

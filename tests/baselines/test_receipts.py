@@ -1,0 +1,117 @@
+"""Tests for epidemic routing with delivery receipts."""
+
+import pytest
+
+from repro.baselines.receipts import (
+    ReceiptEpidemicConfig,
+    ReceiptEpidemicProtocol,
+    ReceiptMode,
+)
+from repro.geometry.primitives import Point
+from repro.mobility.base import Region
+from repro.mobility.static import StaticMobility
+from repro.sim.radio import RadioConfig
+from repro.sim.world import World, WorldConfig
+
+
+def build_world(placements, mode=ReceiptMode.ACTIVE, radius=100.0):
+    region = Region(1000.0, 1000.0)
+    mobility = StaticMobility(region, placements)
+    config = ReceiptEpidemicConfig(receipt_mode=mode)
+    return World(
+        mobility,
+        lambda node: ReceiptEpidemicProtocol(config),
+        WorldConfig(radio=RadioConfig(range_m=radius), seed=1),
+    )
+
+
+CHAIN = {0: Point(0, 0), 1: Point(80, 0), 2: Point(160, 0)}
+
+
+class TestActiveReceipts:
+    def test_delivery_still_works(self):
+        world = build_world(CHAIN)
+        world.schedule_message(0, 2, at_time=1.0)
+        metrics = world.run(until=60.0)
+        assert metrics.messages_delivered == 1
+
+    def test_delivered_messages_cleared_from_buffers(self):
+        world = build_world(CHAIN)
+        world.schedule_message(0, 2, at_time=1.0)
+        world.run(until=120.0)
+        # With active receipts every node eventually drops the message
+        # (plain epidemic would hold it at all three nodes forever).
+        total_buffered = sum(
+            p.storage_occupancy() for p in world.protocols.values()
+        )
+        assert total_buffered == 0
+        # Every node on the chain learned the receipt.
+        assert all(
+            len(p.receipts) == 1 for p in world.protocols.values()
+        )
+
+    def test_destination_never_rebuffers(self):
+        world = build_world(CHAIN)
+        world.schedule_message(0, 2, at_time=1.0)
+        world.run(until=120.0)
+        assert world.protocols[2].storage_occupancy() == 0
+
+    def test_cleared_counter_increments(self):
+        world = build_world(CHAIN)
+        world.schedule_message(0, 2, at_time=1.0)
+        world.run(until=120.0)
+        cleared = sum(
+            p.messages_cleared for p in world.protocols.values()
+        )
+        assert cleared >= 1
+
+
+class TestPassiveReceipts:
+    def test_delivery_works(self):
+        world = build_world(CHAIN, mode=ReceiptMode.PASSIVE)
+        world.schedule_message(0, 2, at_time=1.0)
+        metrics = world.run(until=60.0)
+        assert metrics.messages_delivered == 1
+
+    def test_receipt_frames_sent_on_stale_offer(self):
+        world = build_world(CHAIN, mode=ReceiptMode.PASSIVE)
+        world.schedule_message(0, 2, at_time=1.0)
+        world.run(until=120.0)
+        receipt_frames = sum(
+            p.receipt_frames_sent for p in world.protocols.values()
+        )
+        # Relays keep offering the message; the destination answers
+        # with passive receipts.
+        assert receipt_frames >= 1
+
+    def test_relays_eventually_clear(self):
+        world = build_world(CHAIN, mode=ReceiptMode.PASSIVE)
+        world.schedule_message(0, 2, at_time=1.0)
+        world.run(until=200.0)
+        # Node 1 keeps summarizing to 2; 2's passive receipt clears 1.
+        assert world.protocols[1].storage_occupancy() == 0
+
+
+class TestComparisonAgainstPlainEpidemic:
+    def test_receipts_reduce_storage(self):
+        from repro.baselines.epidemic import EpidemicProtocol
+
+        region = Region(1000.0, 1000.0)
+        placements = {i: Point(70.0 * i, 0.0) for i in range(6)}
+
+        def run(factory):
+            world = World(
+                StaticMobility(region, placements),
+                factory,
+                WorldConfig(radio=RadioConfig(range_m=100.0), seed=1),
+            )
+            for i in range(5):
+                world.schedule_message(0, 5, at_time=1.0 + 0.2 * i)
+            return world.run(until=200.0)
+
+        plain = run(lambda n: EpidemicProtocol())
+        receipts = run(lambda n: ReceiptEpidemicProtocol())
+        assert receipts.messages_delivered == plain.messages_delivered
+        assert (
+            receipts.time_average_storage < plain.time_average_storage
+        )

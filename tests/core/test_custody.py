@@ -1,0 +1,86 @@
+"""Tests for the custody transfer manager."""
+
+import pytest
+
+from repro.core.custody import CustodyManager
+from repro.sim.engine import Simulator
+from repro.sim.storage import DualStore
+
+
+def build(timeout=5.0, on_returned=None):
+    sim = Simulator()
+    store = DualStore()
+    manager = CustodyManager(
+        schedule=sim.schedule,
+        store=store,
+        timeout=timeout,
+        on_returned=on_returned,
+    )
+    return sim, store, manager
+
+
+class TestCustodyFlow:
+    def test_sent_moves_to_cache(self):
+        sim, store, manager = build()
+        store.add_to_store("m", "x")
+        manager.on_sent("m")
+        assert "m" in store.cache
+        assert manager.pending() == 1
+
+    def test_ack_clears_cache_and_timer(self):
+        sim, store, manager = build()
+        store.add_to_store("m", "x")
+        manager.on_sent("m")
+        assert manager.on_ack("m")
+        assert store.occupancy() == 0
+        assert manager.pending() == 0
+        sim.run(until=100.0)  # timer must not fire
+        assert store.occupancy() == 0
+        assert manager.timeouts == 0
+        assert manager.acks_received == 1
+
+    def test_timeout_returns_to_store(self):
+        returned = []
+        sim, store, manager = build(timeout=5.0, on_returned=returned.append)
+        store.add_to_store("m", "x")
+        manager.on_sent("m")
+        sim.run(until=10.0)
+        assert "m" in store.store
+        assert "m" not in store.cache
+        assert manager.timeouts == 1
+        assert returned == ["m"]
+
+    def test_ack_for_unknown_key(self):
+        _, _, manager = build()
+        assert not manager.on_ack("ghost")
+
+    def test_resend_rearms_timer(self):
+        sim, store, manager = build(timeout=5.0)
+        store.add_to_store("m", "x")
+        manager.on_sent("m")
+        sim.run(until=6.0)  # timeout, back to store
+        manager.on_sent("m")  # re-sent
+        assert "m" in store.cache
+        sim.run(until=20.0)
+        assert manager.timeouts == 2
+
+    def test_sent_for_missing_key_is_noop(self):
+        sim, store, manager = build()
+        manager.on_sent("ghost")
+        assert manager.pending() == 0
+
+    def test_cancel_all(self):
+        sim, store, manager = build()
+        for key in ("a", "b"):
+            store.add_to_store(key, key)
+            manager.on_sent(key)
+        manager.cancel_all()
+        sim.run(until=100.0)
+        assert manager.timeouts == 0
+        # Items remain parked in the cache (end-of-sim state).
+        assert len(store.cache) == 2
+
+    def test_invalid_timeout(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CustodyManager(sim.schedule, DualStore(), timeout=0.0)

@@ -1,0 +1,72 @@
+"""Tests for Algorithm 1 (copy-count decision)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decision import decide_copies
+
+PAPER_AREA = 1500.0 * 300.0
+
+
+class TestPaperRegimes:
+    """The decision must reproduce the paper's own configuration:
+    3 copies at 50/100 m, 1 copy at 150/200/250 m (Tables 5, 6)."""
+
+    @pytest.mark.parametrize("radius", [50.0, 100.0])
+    def test_sparse_radii_use_three_copies(self, radius):
+        decision = decide_copies(50, radius, PAPER_AREA)
+        assert decision.copies == 3
+        assert decision.sparse
+
+    @pytest.mark.parametrize("radius", [150.0, 200.0, 250.0])
+    def test_dense_radii_use_single_copy(self, radius):
+        decision = decide_copies(50, radius, PAPER_AREA)
+        assert decision.copies == 1
+        assert not decision.sparse
+
+    def test_confidence_reported(self):
+        sparse = decide_copies(50, 50.0, PAPER_AREA)
+        dense = decide_copies(50, 250.0, PAPER_AREA)
+        assert sparse.confidence < dense.confidence
+
+
+class TestKnobs:
+    def test_custom_sparse_copies(self):
+        decision = decide_copies(50, 50.0, PAPER_AREA, sparse_copies=7)
+        assert decision.copies == 7
+
+    def test_max_copies_cap(self):
+        decision = decide_copies(
+            50, 50.0, PAPER_AREA, sparse_copies=7, max_copies=4
+        )
+        assert decision.copies == 4
+
+    def test_storage_headroom_scales_down(self):
+        decision = decide_copies(
+            50, 50.0, PAPER_AREA, sparse_copies=6, storage_headroom=0.5
+        )
+        assert decision.copies == 3
+
+    def test_storage_headroom_never_below_one(self):
+        decision = decide_copies(
+            50, 50.0, PAPER_AREA, sparse_copies=3, storage_headroom=0.01
+        )
+        assert decision.copies == 1
+
+    def test_tiny_network_single_copy(self):
+        assert decide_copies(1, 50.0, PAPER_AREA).copies == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            decide_copies(50, 50.0, PAPER_AREA, threshold=0.0)
+        with pytest.raises(ValueError):
+            decide_copies(50, 50.0, PAPER_AREA, sparse_copies=0)
+        with pytest.raises(ValueError):
+            decide_copies(50, 50.0, PAPER_AREA, storage_headroom=2.0)
+
+    @given(st.floats(min_value=10.0, max_value=500.0))
+    def test_copies_weakly_decrease_with_radius(self, radius):
+        a = decide_copies(50, radius, PAPER_AREA)
+        b = decide_copies(50, radius + 20.0, PAPER_AREA)
+        assert b.copies <= a.copies

@@ -1,0 +1,90 @@
+"""Tests for face-routing hop selection."""
+
+import pytest
+
+from repro.core.face import first_face_hop, next_face_hop
+from repro.geometry.primitives import Point
+
+
+class TestFirstFaceHop:
+    def test_no_neighbors_returns_none(self):
+        assert first_face_hop(Point(0, 0), Point(100, 0), {}) is None
+
+    def test_picks_first_ccw_from_destination_ray(self):
+        node = Point(0, 0)
+        dest = Point(100, 0)  # ray points +x
+        neighbors = {
+            "up": Point(0, 10),  # 90° CCW from ray
+            "down": Point(0, -10),  # 270° CCW from ray
+        }
+        assert first_face_hop(node, dest, neighbors) == "up"
+
+    def test_neighbor_straight_toward_dest_not_zero_delta(self):
+        # A neighbour exactly on the destination ray gets delta 2π, so a
+        # slightly-CCW neighbour wins (the straight one would have been
+        # a greedy candidate anyway).
+        node = Point(0, 0)
+        dest = Point(100, 0)
+        neighbors = {
+            "straight": Point(10, 0),
+            "ccw": Point(10, 1),
+        }
+        assert first_face_hop(node, dest, neighbors) == "ccw"
+
+    def test_single_neighbor_chosen(self):
+        assert (
+            first_face_hop(
+                Point(0, 0), Point(100, 0), {"only": Point(-5, -5)}
+            )
+            == "only"
+        )
+
+
+class TestNextFaceHop:
+    def test_continues_around_face(self):
+        # Arrived along (0,0) -> (10,0); faces-on-right traversal picks
+        # the first neighbour counter-clockwise from the reverse edge,
+        # which is the diagonal (225° CCW from the back-pointing ray)
+        # before the vertical neighbour (270°).
+        node = Point(10, 0)
+        prev_pos = Point(0, 0)
+        neighbors = {
+            "prev": Point(0, 0),
+            "up": Point(10, 10),
+            "diag": Point(20, 10),
+        }
+        nxt = next_face_hop(node, prev_pos, neighbors, prev_id="prev")
+        assert nxt == "diag"
+
+    def test_dead_end_doubles_back(self):
+        node = Point(10, 0)
+        prev_pos = Point(0, 0)
+        neighbors = {"prev": Point(0, 0)}
+        assert (
+            next_face_hop(node, prev_pos, neighbors, prev_id="prev")
+            == "prev"
+        )
+
+    def test_no_neighbors_returns_none(self):
+        assert next_face_hop(Point(0, 0), Point(1, 0), {}, "prev") is None
+
+    def test_prev_not_in_neighbors_dead_end_none(self):
+        # Previous node left range and nothing else is around.
+        assert (
+            next_face_hop(Point(0, 0), Point(1, 0), {}, prev_id="gone")
+            is None
+        )
+
+    def test_traversal_is_deterministic(self):
+        node = Point(0, 0)
+        prev_pos = Point(-10, 0)
+        neighbors = {
+            "a": Point(10, 1),
+            "b": Point(10, -1),
+            "prev": Point(-10, 0),
+        }
+        picks = {
+            next_face_hop(node, prev_pos, neighbors, "prev")
+            for _ in range(5)
+        }
+        assert len(picks) == 1

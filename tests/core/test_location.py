@@ -1,0 +1,58 @@
+"""Tests for location modes, guesses, and staleness."""
+
+import random
+
+from repro.core.location import (
+    LocationMode,
+    initial_location_guess,
+    is_belief_stale,
+    perturbed_location,
+)
+from repro.mobility.base import Region
+
+
+class TestModes:
+    def test_three_modes_exist(self):
+        assert {m.value for m in LocationMode} == {"oracle", "source", "none"}
+
+
+class TestGuesses:
+    def test_guess_inside_region(self):
+        region = Region(1500.0, 300.0)
+        rng = random.Random(1)
+        for _ in range(50):
+            assert region.contains(initial_location_guess(region, rng))
+
+    def test_perturbed_inside_region(self):
+        region = Region(1500.0, 300.0)
+        rng = random.Random(2)
+        for _ in range(50):
+            assert region.contains(perturbed_location(region, rng))
+
+    def test_guesses_deterministic_per_rng(self):
+        region = Region(100.0, 100.0)
+        a = initial_location_guess(region, random.Random(7))
+        b = initial_location_guess(region, random.Random(7))
+        assert a == b
+
+    def test_perturbation_varies(self):
+        region = Region(100.0, 100.0)
+        rng = random.Random(3)
+        points = {perturbed_location(region, rng) for _ in range(10)}
+        assert len(points) > 1
+
+
+class TestStaleness:
+    def test_fresh_belief_not_stale(self):
+        assert not is_belief_stale(belief_time=95.0, now=100.0, max_age=10.0)
+
+    def test_old_belief_stale(self):
+        assert is_belief_stale(belief_time=0.0, now=100.0, max_age=10.0)
+
+    def test_pure_guess_always_stale(self):
+        assert is_belief_stale(
+            belief_time=float("-inf"), now=0.0, max_age=1e9
+        )
+
+    def test_boundary_not_stale(self):
+        assert not is_belief_stale(belief_time=90.0, now=100.0, max_age=10.0)

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EFFORTS, EXPERIMENTS, main
+
+
+class TestList:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "glr" in out
+        assert "bench" in out
+
+    def test_every_paper_artifact_has_an_experiment(self):
+        for name in (
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_efforts_registered(self):
+        assert set(EFFORTS) == {"bench", "spot", "paper"}
+
+
+class TestRun:
+    def test_quick_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocol",
+                "glr",
+                "--radius",
+                "150",
+                "--messages",
+                "3",
+                "--sim-time",
+                "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivery ratio" in out
+        assert "messages created    3" in out
+
+    def test_run_with_storage_limit(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocol",
+                "epidemic",
+                "--messages",
+                "3",
+                "--sim-time",
+                "20",
+                "--storage-limit",
+                "5",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "nonsense"])
+
+
+class TestExperiment:
+    def test_fig1_experiment(self, capsys):
+        assert main(["experiment", "fig1", "--effort", "bench"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "components" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

@@ -1,0 +1,108 @@
+"""Tests for repro.geometry.hull."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.hull import convex_hull, hull_contains
+from repro.geometry.predicates import orientation_value
+from repro.geometry.primitives import Point, polygon_area
+
+# Metre-scale coordinates quantized to 1 um.  Unrestricted floats admit
+# denormal-scale inputs where algebraically-equal cross products evaluate
+# to exactly 0.0 under permuted operand order — outside the coordinate
+# regime this library targets (node positions in metres).
+coords = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 6))
+points = st.builds(Point, coords, coords)
+
+
+class TestConvexHull:
+    def test_square_with_interior_point(self):
+        pts = [
+            Point(0, 0),
+            Point(4, 0),
+            Point(4, 4),
+            Point(0, 4),
+            Point(2, 2),  # interior — must not appear
+        ]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert Point(2, 2) not in hull
+
+    def test_hull_is_counterclockwise(self):
+        pts = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4), Point(1, 2)]
+        hull = convex_hull(pts)
+        assert polygon_area(hull) > 0
+
+    def test_collinear_points_reduced_to_extremes(self):
+        pts = [Point(float(i), float(i)) for i in range(5)]
+        hull = convex_hull(pts)
+        assert set(hull) == {Point(0, 0), Point(4, 4)}
+
+    def test_duplicates_removed(self):
+        pts = [Point(0, 0), Point(0, 0), Point(1, 0), Point(0, 1)]
+        assert len(convex_hull(pts)) == 3
+
+    def test_empty_and_tiny_inputs(self):
+        assert convex_hull([]) == []
+        assert convex_hull([Point(1, 1)]) == [Point(1, 1)]
+        assert len(convex_hull([Point(0, 0), Point(1, 1)])) == 2
+
+    def test_collinear_interior_points_excluded_from_hull_edges(self):
+        pts = [Point(0, 0), Point(2, 0), Point(4, 0), Point(2, 3)]
+        hull = convex_hull(pts)
+        assert Point(2, 0) not in hull
+
+    @given(st.lists(points, min_size=3, max_size=40))
+    def test_hull_is_convex(self, pts):
+        # Strict left turns in exact-expression terms: the monotone
+        # chain pops on cross <= 0, so every surviving corner has a
+        # positive raw cross product (the tolerance-based predicate may
+        # still call near-degenerate corners collinear, which is fine).
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        n = len(hull)
+        for i in range(n):
+            a, b, c = hull[i], hull[(i + 1) % n], hull[(i + 2) % n]
+            assert orientation_value(a, b, c) > 0
+
+    @given(st.lists(points, min_size=1, max_size=40))
+    def test_hull_contains_all_input_points(self, pts):
+        hull = convex_hull(pts)
+        for p in pts:
+            assert hull_contains(hull, p, tol=1e-6)
+
+
+class TestHullContains:
+    def test_inside_square(self):
+        hull = convex_hull(
+            [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+        )
+        assert hull_contains(hull, Point(2, 2))
+
+    def test_outside_square(self):
+        hull = convex_hull(
+            [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+        )
+        assert not hull_contains(hull, Point(5, 2))
+
+    def test_on_boundary(self):
+        hull = convex_hull(
+            [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+        )
+        assert hull_contains(hull, Point(2, 0))
+
+    def test_degenerate_segment_hull(self):
+        hull = [Point(0, 0), Point(2, 0)]
+        assert hull_contains(hull, Point(1, 0))
+        assert not hull_contains(hull, Point(1, 1))
+
+    def test_single_point_hull(self):
+        assert hull_contains([Point(1, 1)], Point(1, 1))
+        assert not hull_contains([Point(1, 1)], Point(2, 1))
+
+    def test_empty_hull_contains_nothing(self):
+        assert not hull_contains([], Point(0, 0))

@@ -1,0 +1,103 @@
+"""Tests for the Triangulation data structure."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.geometry.triangulation import (
+    Triangulation,
+    edges_of,
+    normalize_edge,
+    normalize_triangle,
+)
+
+
+@pytest.fixture
+def square_tri() -> Triangulation:
+    tri = Triangulation(
+        points=[Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+    )
+    tri.add_triangle(0, 1, 2)
+    tri.add_triangle(0, 2, 3)
+    return tri
+
+
+class TestNormalization:
+    def test_edge_sorted(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_triangle_sorted(self):
+        assert normalize_triangle(3, 1, 2) == (1, 2, 3)
+
+
+class TestTriangulation:
+    def test_add_triangle_normalizes(self, square_tri):
+        assert (0, 1, 2) in square_tri.triangles
+
+    def test_degenerate_triangle_rejected(self, square_tri):
+        with pytest.raises(ValueError):
+            square_tri.add_triangle(1, 1, 2)
+
+    def test_edges(self, square_tri):
+        assert square_tri.edges() == {
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (0, 3),
+        }
+
+    def test_has_edge(self, square_tri):
+        assert square_tri.has_edge(2, 0)
+        assert not square_tri.has_edge(1, 3)
+
+    def test_neighbors(self, square_tri):
+        assert square_tri.neighbors(0) == {1, 2, 3}
+        assert square_tri.neighbors(1) == {0, 2}
+
+    def test_neighbors_of_unused_vertex_empty(self):
+        tri = Triangulation(points=[Point(0, 0)])
+        assert tri.neighbors(0) == set()
+
+    def test_triangles_with_edge(self, square_tri):
+        shared = square_tri.triangles_with_edge(0, 2)
+        assert len(shared) == 2
+        boundary = square_tri.triangles_with_edge(0, 1)
+        assert len(boundary) == 1
+
+    def test_boundary_edges(self, square_tri):
+        # The diagonal 0-2 is interior; the square sides are boundary.
+        assert square_tri.boundary_edges() == {
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+        }
+
+    def test_adjacency_covers_all_vertices(self, square_tri):
+        adj = square_tri.adjacency()
+        assert set(adj) == {0, 1, 2, 3}
+        assert adj[3] == {0, 2}
+
+    def test_iter_triangle_points(self, square_tri):
+        triples = list(square_tri.iter_triangle_points())
+        assert len(triples) == 2
+        for a, b, c in triples:
+            assert isinstance(a, Point)
+
+    def test_vertex_count(self, square_tri):
+        assert square_tri.vertex_count() == 4
+
+
+class TestEdgesOf:
+    def test_edges_of_triangles(self):
+        assert edges_of([(0, 1, 2), (1, 2, 3)]) == {
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+        }
+
+    def test_edges_of_empty(self):
+        assert edges_of([]) == set()

@@ -1,0 +1,171 @@
+"""Tests for connectivity analysis and the Georgiou bound."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import Point
+from repro.graphs.connectivity import (
+    average_degree,
+    connected_components,
+    connectivity_confidence,
+    critical_radius,
+    density_report,
+    is_connected,
+    largest_component_fraction,
+    reachable_pair_fraction,
+    shortest_path_hops,
+)
+from repro.graphs.udg import SpatialGraph, unit_disk_graph
+
+from tests.conftest import random_points
+
+
+def chain_graph(n: int) -> SpatialGraph:
+    g = SpatialGraph()
+    for i in range(n):
+        g.add_node(i, Point(float(i), 0))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestComponents:
+    def test_single_chain_is_connected(self):
+        assert is_connected(chain_graph(5))
+
+    def test_two_components(self):
+        g = chain_graph(4)
+        g.remove_edge(1, 2)
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert {frozenset(c) for c in comps} == {
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+        }
+
+    def test_components_sorted_by_size(self):
+        g = SpatialGraph()
+        for i in range(5):
+            g.add_node(i, Point(float(i), 0))
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        comps = connected_components(g)
+        assert len(comps[0]) == 3
+
+    def test_empty_graph_connected(self):
+        assert is_connected(SpatialGraph())
+
+    def test_largest_component_fraction(self):
+        g = chain_graph(4)
+        g.remove_edge(2, 3)
+        assert largest_component_fraction(g) == pytest.approx(0.75)
+
+    def test_reachable_pair_fraction_full(self):
+        assert reachable_pair_fraction(chain_graph(4)) == pytest.approx(1.0)
+
+    def test_reachable_pair_fraction_split(self):
+        g = chain_graph(4)
+        g.remove_edge(1, 2)
+        # 2 components of 2: reachable ordered pairs 2*2=4 of 12.
+        assert reachable_pair_fraction(g) == pytest.approx(4 / 12)
+
+
+class TestShortestPath:
+    def test_hops_along_chain(self):
+        assert shortest_path_hops(chain_graph(5), 0, 4) == 4
+
+    def test_same_node_zero(self):
+        assert shortest_path_hops(chain_graph(3), 1, 1) == 0
+
+    def test_disconnected_none(self):
+        g = chain_graph(4)
+        g.remove_edge(1, 2)
+        assert shortest_path_hops(g, 0, 3) is None
+
+
+class TestGeorgiouBound:
+    def test_critical_radius_formula(self):
+        # Unit area: r = sqrt((ln n + ln s) / (n pi)).
+        n, s = 50, 10.0
+        expected = math.sqrt((math.log(n) + math.log(s)) / (n * math.pi))
+        assert critical_radius(n, s) == pytest.approx(expected)
+
+    def test_area_scaling(self):
+        assert critical_radius(50, 10.0, area=4.0) == pytest.approx(
+            2.0 * critical_radius(50, 10.0, area=1.0)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            critical_radius(1, 10.0)
+        with pytest.raises(ValueError):
+            critical_radius(50, 1.0)
+        with pytest.raises(ValueError):
+            critical_radius(50, 10.0, area=0.0)
+
+    def test_confidence_inverts_radius(self):
+        n, area = 50, 450_000.0
+        for s in (5.0, 50.0, 500.0):
+            r = critical_radius(n, s, area)
+            conf = connectivity_confidence(n, r, area)
+            assert conf == pytest.approx(1.0 - 1.0 / s, rel=1e-6)
+
+    def test_paper_scenario_regimes(self):
+        # 50 nodes in 1500 x 300: sparse at 50/100 m, confident at
+        # 150 m+ — this is what makes Algorithm 1 pick 3 vs 1 copies.
+        area = 1500.0 * 300.0
+        assert connectivity_confidence(50, 50.0, area) == 0.0
+        assert connectivity_confidence(50, 100.0, area) == 0.0
+        assert connectivity_confidence(50, 150.0, area) > 0.9
+        assert connectivity_confidence(50, 250.0, area) > 0.99
+
+    @given(st.floats(min_value=1.0, max_value=500.0))
+    def test_confidence_monotone_in_radius(self, radius):
+        area = 450_000.0
+        c1 = connectivity_confidence(50, radius, area)
+        c2 = connectivity_confidence(50, radius * 1.1, area)
+        assert c2 >= c1
+
+    def test_confidence_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            connectivity_confidence(1, 100.0)
+        with pytest.raises(ValueError):
+            connectivity_confidence(50, -1.0)
+
+    def test_empirical_connectivity_rises_with_confidence(self):
+        # The bound is asymptotic, so at n = 50 it is optimistic in
+        # absolute terms; what must hold is that radii certified at
+        # higher confidence are empirically connected more often, and
+        # that high-confidence radii are usually connected.
+        area = 1000.0 * 1000.0
+        rates = []
+        for s in (2.0, 1000.0):
+            radius = critical_radius(50, s, area)
+            connected = 0
+            trials = 20
+            for seed in range(trials):
+                pts = random_points(50, seed)
+                g = unit_disk_graph(
+                    {i: p for i, p in enumerate(pts)}, radius
+                )
+                connected += is_connected(g)
+            rates.append(connected / trials)
+        assert rates[1] > rates[0]
+        assert rates[1] >= 0.8
+
+
+class TestDegreeAndDensity:
+    def test_average_degree(self):
+        assert average_degree(chain_graph(3)) == pytest.approx(4 / 3)
+
+    def test_average_degree_empty(self):
+        assert average_degree(SpatialGraph()) == 0.0
+
+    def test_density_report_fields(self):
+        report = density_report({0: None, 1: None}, 100.0, 10_000.0)
+        assert report["nodes"] == 2.0
+        assert report["radius"] == 100.0
+        assert "connectivity_confidence" in report

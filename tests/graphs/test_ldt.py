@@ -1,0 +1,155 @@
+"""Tests for the k-local Delaunay triangulation graph (k-LDTG).
+
+The load-bearing claims from the paper that we verify:
+
+- the LDTG is a subgraph of the UDG (links are physical);
+- for k = 2 it is planar on random instances (the paper's justification
+  for building it the way it does);
+- it preserves UDG connectivity (a spanner must not disconnect);
+- the node-local computation agrees with the global construction.
+"""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.connectivity import connected_components
+from repro.graphs.faces import is_planar_embedding
+from repro.graphs.ldt import (
+    local_delaunay_edges_of,
+    local_delaunay_graph,
+    node_local_ldt_neighbors,
+)
+from repro.graphs.udg import unit_disk_graph
+
+from tests.conftest import random_points
+
+
+def positions_of(pts):
+    return {i: p for i, p in enumerate(pts)}
+
+
+def node_sets(components):
+    return [frozenset(c) for c in components]
+
+
+class TestConstruction:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            local_delaunay_graph({0: Point(0, 0)}, radius=10.0, k=0)
+
+    def test_empty_and_singleton(self):
+        assert local_delaunay_graph({}, radius=10.0).edge_count() == 0
+        g = local_delaunay_graph({0: Point(0, 0)}, radius=10.0)
+        assert g.edge_count() == 0
+
+    def test_two_nodes_in_range_connected(self):
+        positions = {0: Point(0, 0), 1: Point(5, 0)}
+        g = local_delaunay_graph(positions, radius=10.0)
+        assert g.neighbors(0) == {1}
+
+    def test_two_nodes_out_of_range_not_connected(self):
+        positions = {0: Point(0, 0), 1: Point(50, 0)}
+        g = local_delaunay_graph(positions, radius=10.0)
+        assert g.edge_count() == 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    @pytest.mark.parametrize("radius", [120.0, 200.0])
+    def test_subgraph_of_udg(self, seed, radius):
+        pts = random_points(35, seed)
+        positions = positions_of(pts)
+        udg = unit_disk_graph(positions, radius)
+        ldt = local_delaunay_graph(positions, radius, k=2, udg=udg)
+        for u, v in ldt.edges():
+            assert v in udg.neighbors(u)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    @pytest.mark.parametrize("radius", [120.0, 200.0, 350.0])
+    def test_planar_for_k2(self, seed, radius):
+        pts = random_points(35, seed)
+        ldt = local_delaunay_graph(positions_of(pts), radius, k=2)
+        assert is_planar_embedding(ldt)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    @pytest.mark.parametrize("radius", [120.0, 250.0])
+    def test_preserves_connectivity(self, seed, radius):
+        pts = random_points(35, seed)
+        positions = positions_of(pts)
+        udg = unit_disk_graph(positions, radius)
+        ldt = local_delaunay_graph(positions, radius, k=2, udg=udg)
+        assert node_sets(connected_components(udg)) == node_sets(
+            connected_components(ldt)
+        )
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_dense_graph_sparsified(self, seed):
+        # At a radius where the UDG is dense, the planar LDTG must have
+        # at most 3n - 6 edges; the UDG will have far more.
+        pts = random_points(35, seed, side=500.0)
+        positions = positions_of(pts)
+        udg = unit_disk_graph(positions, 300.0)
+        ldt = local_delaunay_graph(positions, 300.0, k=2, udg=udg)
+        n = len(pts)
+        assert ldt.edge_count() <= 3 * n - 6
+        assert ldt.edge_count() < udg.edge_count()
+
+
+class TestLocalEdges:
+    def test_local_edges_restricted_to_udg(self):
+        # Distant points may be Delaunay neighbours geometrically but
+        # cannot form radio links.
+        positions = {
+            0: Point(0, 0),
+            1: Point(90, 0),
+            2: Point(180, 0),
+            3: Point(90, 80),
+        }
+        udg = unit_disk_graph(positions, 100.0)
+        edges = local_delaunay_edges_of(udg, 0, k=2)
+        for edge in edges:
+            u, v = tuple(edge)
+            assert v in udg.neighbors(u)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_node_local_matches_global(self, seed):
+        pts = random_points(30, seed)
+        positions = positions_of(pts)
+        radius = 180.0
+        udg = unit_disk_graph(positions, radius)
+        global_ldt = local_delaunay_graph(positions, radius, k=2, udg=udg)
+        for node in udg.nodes():
+            local = node_local_ldt_neighbors(udg, node, k=2)
+            assert local == global_ldt.neighbors(node), (
+                f"node {node}: local {sorted(local)} != "
+                f"global {sorted(global_ldt.neighbors(node))}"
+            )
+
+    def test_isolated_node_has_no_ldt_neighbors(self):
+        positions = {0: Point(0, 0), 1: Point(500, 0), 2: Point(505, 0)}
+        udg = unit_disk_graph(positions, 50.0)
+        assert node_local_ldt_neighbors(udg, 0, k=2) == set()
+
+
+class TestAgainstRdgIntuition:
+    def test_triangle_fully_kept(self):
+        positions = {
+            0: Point(0, 0),
+            1: Point(10, 0),
+            2: Point(5, 8),
+        }
+        ldt = local_delaunay_graph(positions, radius=20.0, k=1)
+        assert ldt.edge_count() == 3
+
+    def test_crossing_edge_eliminated_in_dense_cluster(self):
+        # Four nodes in convex position, all mutually in range: the
+        # Delaunay triangulation keeps one diagonal only.
+        positions = {
+            0: Point(0, 0),
+            1: Point(10, 0),
+            2: Point(10, 10),
+            3: Point(0, 10),
+        }
+        ldt = local_delaunay_graph(positions, radius=30.0, k=2)
+        edges = ldt.edges()
+        diagonals = [e for e in edges if e in {(0, 2), (1, 3)}]
+        assert len(diagonals) <= 1
+        assert ldt.edge_count() <= 5

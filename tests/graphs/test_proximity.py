@@ -1,0 +1,103 @@
+"""Tests for Gabriel and relative-neighbourhood graphs."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.faces import is_planar_embedding
+from repro.graphs.gabriel import gabriel_graph
+from repro.graphs.rng import relative_neighborhood_graph
+from repro.graphs.udg import unit_disk_graph
+from repro.geometry.delaunay import delaunay_edges
+
+from tests.conftest import random_points
+
+
+def positions_of(pts):
+    return {i: p for i, p in enumerate(pts)}
+
+
+class TestGabriel:
+    def test_blocking_point_removes_edge(self):
+        # c sits inside the diameter disk of ab.
+        positions = {
+            "a": Point(0, 0),
+            "b": Point(10, 0),
+            "c": Point(5, 1),
+        }
+        g = gabriel_graph(positions)
+        assert "b" not in g.neighbors("a")
+
+    def test_unblocked_edge_survives(self):
+        positions = {
+            "a": Point(0, 0),
+            "b": Point(10, 0),
+            "c": Point(5, 20),
+        }
+        g = gabriel_graph(positions)
+        assert "b" in g.neighbors("a")
+
+    def test_radius_restriction(self):
+        positions = {"a": Point(0, 0), "b": Point(10, 0)}
+        assert gabriel_graph(positions, radius=5.0).edge_count() == 0
+        assert gabriel_graph(positions, radius=15.0).edge_count() == 1
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_gabriel_subset_of_delaunay(self, seed):
+        pts = random_points(30, seed)
+        g = gabriel_graph(positions_of(pts))
+        del_edges = delaunay_edges(pts)
+        for u, v in g.edges():
+            assert (min(u, v), max(u, v)) in del_edges
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_gabriel_is_planar(self, seed):
+        pts = random_points(30, seed)
+        assert is_planar_embedding(gabriel_graph(positions_of(pts)))
+
+
+class TestRNG:
+    def test_lune_point_removes_edge(self):
+        # c is closer to both a and b than they are to each other.
+        positions = {
+            "a": Point(0, 0),
+            "b": Point(10, 0),
+            "c": Point(5, 2),
+        }
+        g = relative_neighborhood_graph(positions)
+        assert "b" not in g.neighbors("a")
+
+    def test_no_lune_point_keeps_edge(self):
+        positions = {
+            "a": Point(0, 0),
+            "b": Point(10, 0),
+            "c": Point(20, 20),
+        }
+        g = relative_neighborhood_graph(positions)
+        assert "b" in g.neighbors("a")
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_rng_subset_of_gabriel(self, seed):
+        pts = random_points(30, seed)
+        positions = positions_of(pts)
+        rng_edges = relative_neighborhood_graph(positions).edges()
+        gabriel_edges = gabriel_graph(positions).edges()
+        assert rng_edges <= gabriel_edges
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_rng_connected_when_udg_connected(self, seed):
+        from repro.graphs.connectivity import is_connected
+
+        pts = random_points(30, seed, side=300.0)
+        positions = positions_of(pts)
+        udg = unit_disk_graph(positions, 150.0)
+        if not is_connected(udg):
+            pytest.skip("random instance not connected")
+        rng = relative_neighborhood_graph(positions, radius=150.0)
+        assert is_connected(rng)
+
+    def test_radius_restriction(self):
+        positions = {"a": Point(0, 0), "b": Point(10, 0)}
+        assert (
+            relative_neighborhood_graph(positions, radius=5.0).edge_count()
+            == 0
+        )

@@ -1,0 +1,189 @@
+"""Tests for DSTD tree extraction (MaxDSTD / MinDSTD / MidDSTD)."""
+
+import pytest
+
+from repro.geometry.primitives import Point, distance
+from repro.graphs.trees import (
+    Branch,
+    branch_assignment,
+    dstd_next_hop,
+    extract_dstd_path,
+    extract_dstd_tree,
+    progress_candidates,
+    tree_edge_set,
+)
+from repro.graphs.udg import SpatialGraph
+
+DEST = Point(100.0, 0.0)
+ME = Point(0.0, 0.0)
+
+
+@pytest.fixture
+def neighbors():
+    # Three neighbours with distinct progress toward DEST at (100, 0).
+    return {
+        "best": Point(30, 0),  # dist 70 — max progress
+        "mid": Point(20, 0),  # dist 80
+        "worst": Point(10, 0),  # dist 90 — min (but positive) progress
+        "backward": Point(-10, 0),  # dist 110 — no progress
+    }
+
+
+class TestProgressCandidates:
+    def test_only_closer_neighbors(self, neighbors):
+        cands = progress_candidates(ME, DEST, neighbors)
+        assert [c[0] for c in cands] == ["best", "mid", "worst"]
+
+    def test_empty_when_no_progress(self):
+        cands = progress_candidates(
+            ME, DEST, {"backward": Point(-10, 0)}
+        )
+        assert cands == []
+
+    def test_min_progress_margin_filters(self, neighbors):
+        # Margin 15 m: own distance 100, so candidates must be < 85.
+        cands = progress_candidates(ME, DEST, neighbors, min_progress=15.0)
+        assert [c[0] for c in cands] == ["best", "mid"]
+
+    def test_deterministic_tiebreak(self):
+        tied = {"a": Point(30, 5), "z": Point(30, -5)}
+        cands = progress_candidates(ME, DEST, tied)
+        assert [c[0] for c in cands] == ["'a'", "'z'"] or [
+            c[0] for c in cands
+        ] == ["a", "z"]
+
+
+class TestNextHop:
+    def test_max_branch_picks_closest_to_dest(self, neighbors):
+        assert dstd_next_hop(ME, DEST, neighbors, Branch.MAX) == "best"
+
+    def test_min_branch_picks_least_progress(self, neighbors):
+        assert dstd_next_hop(ME, DEST, neighbors, Branch.MIN) == "worst"
+
+    def test_mid_branch_picks_interior(self, neighbors):
+        assert dstd_next_hop(ME, DEST, neighbors, Branch.MID) == "mid"
+
+    def test_local_minimum_returns_none(self):
+        assert (
+            dstd_next_hop(ME, DEST, {"backward": Point(-10, 0)}, Branch.MAX)
+            is None
+        )
+
+    def test_single_candidate_serves_all_branches(self):
+        only = {"only": Point(50, 0)}
+        for branch in Branch:
+            assert dstd_next_hop(ME, DEST, only, branch) == "only"
+
+    def test_two_candidates_max_min_differ(self):
+        two = {"near": Point(10, 0), "far": Point(40, 0)}
+        assert dstd_next_hop(ME, DEST, two, Branch.MAX) == "far"
+        assert dstd_next_hop(ME, DEST, two, Branch.MIN) == "near"
+
+    def test_mid_rank_spreads_choices(self):
+        many = {
+            f"n{i}": Point(10.0 * i, 0) for i in range(1, 9)
+        }  # progress 10..80
+        picks = {
+            dstd_next_hop(ME, DEST, many, Branch.MID, mid_rank=r)
+            for r in (-2, -1, 0, 1, 2)
+        }
+        assert len(picks) >= 3  # distinct mid choices for extra copies
+
+
+class TestBranchAssignment:
+    def test_one_copy_max_only(self):
+        assert branch_assignment(1) == [(Branch.MAX, 0)]
+
+    def test_two_copies(self):
+        assert branch_assignment(2) == [(Branch.MAX, 0), (Branch.MIN, 0)]
+
+    def test_three_copies_paper_default(self):
+        branches = branch_assignment(3)
+        assert branches[0] == (Branch.MAX, 0)
+        assert branches[1] == (Branch.MIN, 0)
+        assert branches[2] == (Branch.MID, 0)
+
+    def test_extra_copies_add_distinct_mid_trees(self):
+        branches = branch_assignment(6)
+        mids = [rank for b, rank in branches if b is Branch.MID]
+        assert len(mids) == 4
+        assert len(set(mids)) == 4  # all distinct ranks
+
+    def test_zero_copies_rejected(self):
+        with pytest.raises(ValueError):
+            branch_assignment(0)
+
+
+def build_line_graph() -> SpatialGraph:
+    """S - a - b - T chain plus a detour node."""
+    g = SpatialGraph()
+    coords = {
+        "S": Point(0, 0),
+        "a": Point(10, 0),
+        "b": Point(20, 0),
+        "T": Point(30, 0),
+        "up": Point(5, 8),
+    }
+    for n, p in coords.items():
+        g.add_node(n, p)
+    g.add_edge("S", "a")
+    g.add_edge("a", "b")
+    g.add_edge("b", "T")
+    g.add_edge("S", "up")
+    g.add_edge("up", "a")
+    return g
+
+
+class TestPathExtraction:
+    def test_max_path_reaches_destination(self):
+        g = build_line_graph()
+        path = extract_dstd_path(g, "S", "T", Branch.MAX)
+        assert path[0] == "S"
+        assert path[-1] == "T"
+
+    def test_min_path_takes_detour(self):
+        g = build_line_graph()
+        path = extract_dstd_path(g, "S", "T", Branch.MIN)
+        # "up" (dist ~26.2) is less progress than "a" (dist 20).
+        assert path[1] == "up"
+        assert path[-1] == "T"
+
+    def test_unknown_nodes_rejected(self):
+        g = build_line_graph()
+        with pytest.raises(KeyError):
+            extract_dstd_path(g, "S", "missing", Branch.MAX)
+
+    def test_local_minimum_stops_path(self):
+        g = SpatialGraph()
+        g.add_node("S", Point(0, 0))
+        g.add_node("T", Point(100, 0))
+        g.add_node("x", Point(-10, 0))
+        g.add_edge("S", "x")
+        path = extract_dstd_path(g, "S", "T", Branch.MAX)
+        assert path == ["S"]
+
+    def test_max_hops_limit(self):
+        g = build_line_graph()
+        path = extract_dstd_path(g, "S", "T", Branch.MAX, max_hops=1)
+        assert len(path) <= 2
+
+    def test_paths_strictly_approach_destination(self):
+        g = build_line_graph()
+        dest_pos = g.positions["T"]
+        for branch in Branch:
+            path = extract_dstd_path(g, "S", "T", branch)
+            dists = [distance(g.positions[n], dest_pos) for n in path]
+            assert all(b < a for a, b in zip(dists, dists[1:]))
+
+
+class TestTreeExtraction:
+    def test_three_copy_tree_has_three_branches(self):
+        g = build_line_graph()
+        tree = extract_dstd_tree(g, "S", "T", copies=3)
+        assert len(tree) == 3
+
+    def test_tree_edge_set_union(self):
+        g = build_line_graph()
+        tree = extract_dstd_tree(g, "S", "T", copies=2)
+        edges = tree_edge_set(list(tree.values()))
+        assert ("S", "a") in edges or ("S", "up") in edges

@@ -1,0 +1,162 @@
+"""Tests for the unit-disk graph and spatial index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import Point, distance
+from repro.graphs.udg import GridIndex, SpatialGraph, unit_disk_graph
+
+from tests.conftest import random_points
+
+
+def positions_of(pts):
+    return {i: p for i, p in enumerate(pts)}
+
+
+class TestSpatialGraph:
+    def test_add_node_and_edge(self):
+        g = SpatialGraph()
+        g.add_node("a", Point(0, 0))
+        g.add_node("b", Point(1, 0))
+        g.add_edge("a", "b")
+        assert g.neighbors("a") == {"b"}
+        assert g.neighbors("b") == {"a"}
+
+    def test_self_loop_rejected(self):
+        g = SpatialGraph()
+        g.add_node("a", Point(0, 0))
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a")
+
+    def test_edge_requires_registered_nodes(self):
+        g = SpatialGraph()
+        g.add_node("a", Point(0, 0))
+        with pytest.raises(KeyError):
+            g.add_edge("a", "missing")
+
+    def test_remove_edge(self):
+        g = SpatialGraph()
+        g.add_node(1, Point(0, 0))
+        g.add_node(2, Point(1, 0))
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert g.neighbors(1) == set()
+
+    def test_edge_count(self):
+        g = SpatialGraph()
+        for i in range(3):
+            g.add_node(i, Point(float(i), 0))
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert g.edge_count() == 2
+
+    def test_degree(self):
+        g = SpatialGraph()
+        for i in range(3):
+            g.add_node(i, Point(float(i), 0))
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        assert g.degree(0) == 2
+        assert g.degree(2) == 1
+
+    def test_k_hop_neighborhood(self):
+        g = SpatialGraph()
+        for i in range(5):
+            g.add_node(i, Point(float(i), 0))
+        for i in range(4):
+            g.add_edge(i, i + 1)
+        assert g.k_hop_neighborhood(0, 1) == {1}
+        assert g.k_hop_neighborhood(0, 2) == {1, 2}
+        assert g.k_hop_neighborhood(2, 2) == {0, 1, 3, 4}
+        assert g.k_hop_neighborhood(0, 0) == set()
+
+    def test_k_hop_negative_raises(self):
+        g = SpatialGraph()
+        g.add_node(0, Point(0, 0))
+        with pytest.raises(ValueError):
+            g.k_hop_neighborhood(0, -1)
+
+    def test_subgraph(self):
+        g = SpatialGraph()
+        for i in range(4):
+            g.add_node(i, Point(float(i), 0))
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        sub = g.subgraph({0, 1, 2})
+        assert set(sub.positions) == {0, 1, 2}
+        assert sub.neighbors(2) == {1}
+
+
+class TestGridIndex:
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(0.0)
+
+    def test_finds_neighbors_across_cells(self):
+        index = GridIndex(cell_size=10.0)
+        index.insert("a", Point(9.9, 0))
+        index.insert("b", Point(10.1, 0))
+        found = {n for n, _ in index.neighbors_within(Point(9.9, 0), 1.0)}
+        assert found == {"a", "b"}
+
+    def test_excludes_far_points(self):
+        index = GridIndex(cell_size=10.0)
+        index.insert("a", Point(0, 0))
+        index.insert("b", Point(50, 50))
+        found = {n for n, _ in index.neighbors_within(Point(0, 0), 5.0)}
+        assert found == {"a"}
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_matches_brute_force(self, seed):
+        pts = random_points(30, seed, side=100.0)
+        index = GridIndex(cell_size=20.0)
+        for i, p in enumerate(pts):
+            index.insert(i, p)
+        query = pts[0]
+        radius = 25.0
+        found = {n for n, _ in index.neighbors_within(query, radius)}
+        brute = {
+            i for i, p in enumerate(pts) if distance(p, query) <= radius
+        }
+        assert found == brute
+
+
+class TestUnitDiskGraph:
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            unit_disk_graph({}, 0.0)
+
+    def test_simple_chain(self):
+        positions = {0: Point(0, 0), 1: Point(5, 0), 2: Point(10, 0)}
+        g = unit_disk_graph(positions, 6.0)
+        assert g.neighbors(0) == {1}
+        assert g.neighbors(1) == {0, 2}
+
+    def test_distance_exactly_radius_connects(self):
+        positions = {0: Point(0, 0), 1: Point(10, 0)}
+        g = unit_disk_graph(positions, 10.0)
+        assert g.neighbors(0) == {1}
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("radius", [50.0, 150.0, 300.0])
+    def test_matches_brute_force(self, seed, radius):
+        pts = random_points(40, seed)
+        positions = positions_of(pts)
+        g = unit_disk_graph(positions, radius)
+        for i in positions:
+            expected = {
+                j
+                for j in positions
+                if j != i and distance(positions[i], positions[j]) <= radius
+            }
+            assert g.neighbors(i) == expected
+
+    def test_adjacency_symmetry(self):
+        pts = random_points(50, 9)
+        g = unit_disk_graph(positions_of(pts), 120.0)
+        for u in g.nodes():
+            for v in g.neighbors(u):
+                assert u in g.neighbors(v)

@@ -1,0 +1,169 @@
+"""Tests for mobility models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import Point
+from repro.mobility.base import Region
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.static import StaticMobility, uniform_random_positions
+
+
+class TestRegion:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            Region(0.0, 100.0)
+        with pytest.raises(ValueError):
+            Region(100.0, -1.0)
+
+    def test_area(self):
+        assert Region(1500.0, 300.0).area == 450_000.0
+
+    def test_contains(self):
+        r = Region(10.0, 10.0)
+        assert r.contains(Point(5, 5))
+        assert r.contains(Point(0, 0))
+        assert not r.contains(Point(11, 5))
+
+    def test_clamp(self):
+        r = Region(10.0, 10.0)
+        assert r.clamp(Point(-5, 15)) == Point(0, 10)
+
+
+class TestStatic:
+    def test_positions_never_change(self, small_region):
+        m = StaticMobility.uniform([0, 1, 2], small_region, seed=1)
+        p0 = m.position(0, 0.0)
+        assert m.position(0, 1000.0) == p0
+
+    def test_placement_outside_region_rejected(self, small_region):
+        with pytest.raises(ValueError):
+            StaticMobility(small_region, {0: Point(1e6, 0)})
+
+    def test_uniform_positions_deterministic(self, small_region):
+        a = uniform_random_positions([0, 1], small_region, seed=7)
+        b = uniform_random_positions([0, 1], small_region, seed=7)
+        assert a == b
+
+    def test_uniform_positions_differ_across_seeds(self, small_region):
+        a = uniform_random_positions([0, 1], small_region, seed=7)
+        b = uniform_random_positions([0, 1], small_region, seed=8)
+        assert a != b
+
+    def test_negative_time_rejected(self, small_region):
+        m = StaticMobility.uniform([0], small_region, seed=1)
+        with pytest.raises(ValueError):
+            m.position(0, -1.0)
+
+    def test_duplicate_node_ids_rejected(self, small_region):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility([1, 1], small_region, seed=0)
+
+
+class TestRandomWaypoint:
+    def test_deterministic_per_seed(self, small_region):
+        a = RandomWaypointMobility([0, 1], small_region, seed=3)
+        b = RandomWaypointMobility([0, 1], small_region, seed=3)
+        for t in (0.0, 10.0, 123.4, 500.0):
+            assert a.position(0, t) == b.position(0, t)
+            assert a.position(1, t) == b.position(1, t)
+
+    def test_stays_inside_region(self, small_region):
+        m = RandomWaypointMobility([0], small_region, seed=5)
+        for t in range(0, 2000, 13):
+            assert small_region.contains(m.position(0, float(t)))
+
+    def test_respects_speed_limit(self, small_region):
+        max_speed = 20.0
+        m = RandomWaypointMobility(
+            [0], small_region, seed=5, max_speed=max_speed
+        )
+        dt = 0.5
+        prev = m.position(0, 0.0)
+        for step in range(1, 200):
+            cur = m.position(0, step * dt)
+            assert prev.distance_to(cur) <= max_speed * dt + 1e-6
+            prev = cur
+
+    def test_non_monotone_queries_allowed(self, small_region):
+        m = RandomWaypointMobility([0], small_region, seed=5)
+        late = m.position(0, 100.0)
+        early = m.position(0, 1.0)
+        again = m.position(0, 100.0)
+        assert late == again
+        assert early != late or early == late  # both queries valid
+
+    def test_pause_time_freezes_node_at_waypoints(self, small_region):
+        m = RandomWaypointMobility(
+            [0], small_region, seed=5, min_speed=5.0, max_speed=5.0,
+            pause_time=10.0,
+        )
+        legs = m.waypoints_until(0, 500.0)
+        pauses = [
+            leg for leg in legs
+            if leg.p_start == leg.p_end and leg.t_end > leg.t_start
+        ]
+        assert pauses, "expected pause legs"
+        for pause in pauses:
+            assert pause.t_end - pause.t_start == pytest.approx(10.0)
+
+    def test_zero_min_speed_floored(self, small_region):
+        m = RandomWaypointMobility([0], small_region, seed=5, min_speed=0.0)
+        assert m.min_speed >= RandomWaypointMobility.SPEED_FLOOR
+
+    def test_invalid_speeds_rejected(self, small_region):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility([0], small_region, seed=1, max_speed=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(
+                [0], small_region, seed=1, min_speed=30.0, max_speed=20.0
+            )
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(
+                [0], small_region, seed=1, pause_time=-1.0
+            )
+
+    def test_unknown_node_rejected(self, small_region):
+        m = RandomWaypointMobility([0], small_region, seed=5)
+        with pytest.raises(KeyError):
+            m.position(99, 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=5000.0))
+    def test_any_query_time_inside_region(self, t):
+        region = Region(500.0, 200.0)
+        m = RandomWaypointMobility([0, 1, 2], region, seed=11)
+        for node in (0, 1, 2):
+            assert region.contains(m.position(node, t))
+
+    def test_nodes_actually_move(self, small_region):
+        m = RandomWaypointMobility([0], small_region, seed=5)
+        p0 = m.position(0, 0.0)
+        p1 = m.position(0, 60.0)
+        assert p0.distance_to(p1) > 0
+
+
+class TestRandomWalk:
+    def test_deterministic(self, small_region):
+        a = RandomWalkMobility([0], small_region, seed=2)
+        b = RandomWalkMobility([0], small_region, seed=2)
+        for t in (0.0, 50.0, 333.3):
+            assert a.position(0, t) == b.position(0, t)
+
+    def test_stays_inside_region(self, small_region):
+        m = RandomWalkMobility([0, 1], small_region, seed=2)
+        for t in range(0, 1000, 7):
+            for node in (0, 1):
+                assert small_region.contains(m.position(node, float(t)))
+
+    def test_invalid_parameters(self, small_region):
+        with pytest.raises(ValueError):
+            RandomWalkMobility([0], small_region, seed=1, min_speed=0.0)
+        with pytest.raises(ValueError):
+            RandomWalkMobility([0], small_region, seed=1, epoch=0.0)
+
+    def test_positions_progress_over_time(self, small_region):
+        m = RandomWalkMobility([0], small_region, seed=2)
+        assert m.position(0, 0.0) != m.position(0, 100.0)

@@ -1,0 +1,122 @@
+"""Tests for ns-2 trace import/export and replay."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.mobility.base import Region
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.traces import (
+    NodeTrace,
+    TraceMobility,
+    load_ns2_trace,
+    save_ns2_trace,
+)
+
+
+class TestNodeTrace:
+    def test_static_trace(self):
+        trace = NodeTrace(initial=Point(10, 20))
+        legs = trace.to_legs()
+        assert legs[-1].p_end == Point(10, 20)
+
+    def test_single_setdest(self):
+        trace = NodeTrace(
+            initial=Point(0, 0), commands=[(0.0, Point(30, 40), 5.0)]
+        )
+        legs = trace.to_legs()
+        # 50 m at 5 m/s = 10 s of travel.
+        assert legs[-1].t_end == pytest.approx(10.0)
+        assert legs[-1].p_end == Point(30, 40)
+
+    def test_midcourse_interruption(self):
+        # Second command arrives before the first finishes; node turns
+        # from its current position.
+        trace = NodeTrace(
+            initial=Point(0, 0),
+            commands=[
+                (0.0, Point(100, 0), 10.0),  # would finish at t=10
+                (5.0, Point(50, 50), 10.0),  # interrupts at (50, 0)
+            ],
+        )
+        legs = trace.to_legs()
+        interrupted = legs[1]
+        assert interrupted.t_end == pytest.approx(5.0)
+        assert interrupted.position_at(5.0).x == pytest.approx(50.0)
+
+    def test_zero_speed_command_ignored(self):
+        trace = NodeTrace(
+            initial=Point(0, 0), commands=[(1.0, Point(10, 10), 0.0)]
+        )
+        legs = trace.to_legs()
+        assert all(leg.p_end == Point(0, 0) for leg in legs)
+
+
+class TestTraceMobility:
+    def test_replay_positions(self):
+        region = Region(200.0, 200.0)
+        traces = {
+            0: NodeTrace(
+                initial=Point(0, 0), commands=[(0.0, Point(100, 0), 10.0)]
+            )
+        }
+        m = TraceMobility(region, traces)
+        assert m.position(0, 0.0) == Point(0, 0)
+        assert m.position(0, 5.0).x == pytest.approx(50.0)
+        assert m.position(0, 10.0).x == pytest.approx(100.0)
+        assert m.position(0, 99.0).x == pytest.approx(100.0)  # stays
+
+    def test_unknown_node(self):
+        m = TraceMobility(Region(10, 10), {0: NodeTrace(Point(1, 1))})
+        with pytest.raises(KeyError):
+            m.position(5, 0.0)
+
+
+class TestRoundTrip:
+    def test_export_import_preserves_positions(self, tmp_path):
+        region = Region(500.0, 300.0)
+        original = RandomWaypointMobility(
+            [0, 1, 2], region, seed=42, max_speed=15.0
+        )
+        path = tmp_path / "scenario.tcl"
+        save_ns2_trace(original, path, until=120.0)
+
+        replayed = load_ns2_trace(path, region)
+        for node in (0, 1, 2):
+            for t in (0.0, 30.0, 60.0, 119.0):
+                a = original.position(node, t)
+                b = replayed.position(node, t)
+                assert a.distance_to(b) < 0.5, (
+                    f"node {node} diverged at t={t}: {a} vs {b}"
+                )
+
+    def test_exported_file_is_ns2_format(self, tmp_path):
+        region = Region(500.0, 300.0)
+        m = RandomWaypointMobility([0], region, seed=1)
+        path = tmp_path / "scenario.tcl"
+        save_ns2_trace(m, path, until=60.0)
+        text = path.read_text()
+        assert "$node_(0) set X_" in text
+        assert "setdest" in text
+
+    def test_import_rejects_incomplete_initial_position(self, tmp_path):
+        path = tmp_path / "bad.tcl"
+        path.write_text("$node_(0) set X_ 10.0\n")
+        with pytest.raises(ValueError):
+            load_ns2_trace(path, Region(100, 100))
+
+    def test_import_rejects_orphan_setdest(self, tmp_path):
+        path = tmp_path / "bad.tcl"
+        path.write_text('$ns_ at 1.0 "$node_(3) setdest 1.0 2.0 3.0"\n')
+        with pytest.raises(ValueError):
+            load_ns2_trace(path, Region(100, 100))
+
+    def test_import_ignores_comments_and_z(self, tmp_path):
+        path = tmp_path / "ok.tcl"
+        path.write_text(
+            "# a comment\n"
+            "$node_(0) set X_ 10.0\n"
+            "$node_(0) set Y_ 20.0\n"
+            "$node_(0) set Z_ 0.0\n"
+        )
+        m = load_ns2_trace(path, Region(100, 100))
+        assert m.position(0, 5.0) == Point(10, 20)

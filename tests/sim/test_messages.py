@@ -1,0 +1,118 @@
+"""Tests for messages, copies and frame constructors."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.sim.messages import (
+    ACK_BYTES,
+    HEADER_BYTES,
+    FrameKind,
+    Message,
+    MessageCopy,
+    ack_frame,
+    data_frame,
+    request_frame,
+    summary_frame,
+)
+
+
+def make_message(**overrides):
+    defaults = dict(source="s", dest="d", seq=0, created_at=1.0)
+    defaults.update(overrides)
+    return Message.create(**defaults)
+
+
+class TestMessage:
+    def test_unique_uids(self):
+        a = make_message()
+        b = make_message(seq=1)
+        assert a.uid != b.uid
+
+    def test_same_source_dest_rejected(self):
+        with pytest.raises(ValueError):
+            make_message(dest="s")
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_message(size_bytes=0)
+
+    def test_default_payload_size_is_paper_value(self):
+        assert make_message().size_bytes == 1000
+
+
+class TestMessageCopy:
+    def test_copy_id_includes_branch_and_rank(self):
+        msg = make_message()
+        copy = MessageCopy(message=msg, branch="max", mid_rank=2)
+        assert copy.copy_id == (msg.uid, "max", 2)
+
+    def test_hopped_increments(self):
+        copy = MessageCopy(message=make_message(), branch="max")
+        assert copy.hopped().hops == 1
+        assert copy.hopped().hopped().hops == 2
+        assert copy.hops == 0  # original untouched
+
+    def test_with_location(self):
+        copy = MessageCopy(message=make_message(), branch="max")
+        updated = copy.with_location(Point(1, 2), 42.0)
+        assert updated.dest_location == Point(1, 2)
+        assert updated.dest_location_time == 42.0
+        assert copy.dest_location is None
+
+    def test_face_mode_lifecycle(self):
+        copy = MessageCopy(message=make_message(), branch="max")
+        assert not copy.in_face_mode
+        entered = copy.entering_face_mode(prev="n1", start_distance=50.0)
+        assert entered.in_face_mode
+        assert entered.face_steps == 1
+        stepped = entered.face_stepped(prev="n2")
+        assert stepped.face_steps == 2
+        assert stepped.face_prev == "n2"
+        left = stepped.leaving_face_mode()
+        assert not left.in_face_mode
+        assert left.face_steps == 0
+
+    def test_leaving_face_mode_cooldown_is_sticky(self):
+        copy = MessageCopy(message=make_message(), branch="max")
+        blocked = copy.leaving_face_mode(block_until=100.0)
+        assert blocked.face_block_until == 100.0
+        # A later leave with a smaller block keeps the larger one.
+        entered = blocked.entering_face_mode(prev="n", start_distance=1.0)
+        again = entered.leaving_face_mode(block_until=50.0)
+        assert again.face_block_until == 100.0
+
+
+class TestFrames:
+    def test_data_frame_carries_copy_and_size(self):
+        msg = make_message(size_bytes=777)
+        copy = MessageCopy(message=msg, branch="max")
+        frame = data_frame("a", "b", copy)
+        assert frame.kind is FrameKind.DATA
+        assert frame.size_bytes == 777
+        assert frame.airtime_bytes == 777 + HEADER_BYTES
+        assert frame.payload is copy
+
+    def test_ack_frame(self):
+        frame = ack_frame("b", "a", (1, "max", 0))
+        assert frame.kind is FrameKind.ACK
+        assert frame.size_bytes == ACK_BYTES
+        assert frame.payload == (1, "max", 0)
+
+    def test_summary_frame_size_scales_with_vector(self):
+        small = summary_frame("a", "b", frozenset({1}))
+        large = summary_frame("a", "b", frozenset(range(100)))
+        assert large.size_bytes > small.size_bytes
+
+    def test_empty_summary_has_minimum_size(self):
+        frame = summary_frame("a", "b", frozenset())
+        assert frame.size_bytes > 0
+
+    def test_request_frame_payload_preserved(self):
+        frame = request_frame("a", "b", (5, 6, 7))
+        assert frame.kind is FrameKind.REQUEST
+        assert frame.payload == (5, 6, 7)
+
+    def test_frame_uids_unique(self):
+        f1 = ack_frame("a", "b", (1, "max", 0))
+        f2 = ack_frame("a", "b", (1, "max", 0))
+        assert f1.uid != f2.uid

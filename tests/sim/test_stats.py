@@ -1,0 +1,114 @@
+"""Tests for metrics collection."""
+
+import pytest
+
+from repro.sim.messages import Message
+from repro.sim.stats import MetricsCollector
+
+
+def make_message(seq=0, created_at=1.0):
+    return Message.create(
+        source="s", dest="d", seq=seq, created_at=created_at
+    )
+
+
+class TestLifecycle:
+    def test_delivery_ratio(self):
+        collector = MetricsCollector()
+        messages = [make_message(seq=i) for i in range(4)]
+        for m in messages:
+            collector.on_created(m)
+        collector.on_delivered(messages[0], now=5.0, hops=2)
+        collector.on_delivered(messages[1], now=6.0, hops=3)
+        snap = collector.snapshot("test", 100.0, {}, 0)
+        assert snap.delivery_ratio == pytest.approx(0.5)
+        assert snap.messages_created == 4
+        assert snap.messages_delivered == 2
+
+    def test_first_delivery_wins(self):
+        collector = MetricsCollector()
+        m = make_message()
+        collector.on_created(m)
+        collector.on_delivered(m, now=5.0, hops=2)
+        collector.on_delivered(m, now=50.0, hops=9)  # duplicate arrival
+        snap = collector.snapshot("test", 100.0, {}, 0)
+        assert snap.messages_delivered == 1
+        assert snap.average_latency == pytest.approx(4.0)
+        assert snap.average_hops == pytest.approx(2.0)
+
+    def test_unknown_delivery_rejected(self):
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.on_delivered(make_message(), now=5.0, hops=1)
+
+    def test_delivery_before_creation_rejected(self):
+        collector = MetricsCollector()
+        m = make_message(created_at=10.0)
+        collector.on_created(m)
+        with pytest.raises(ValueError):
+            collector.on_delivered(m, now=5.0, hops=1)
+
+    def test_is_delivered(self):
+        collector = MetricsCollector()
+        m = make_message()
+        collector.on_created(m)
+        assert not collector.is_delivered(m.uid)
+        collector.on_delivered(m, now=2.0, hops=1)
+        assert collector.is_delivered(m.uid)
+        assert collector.delivered_uids() == {m.uid}
+
+
+class TestSnapshot:
+    def test_empty_run(self):
+        snap = MetricsCollector().snapshot("test", 100.0, {}, 5)
+        assert snap.delivery_ratio == 1.0
+        assert snap.average_latency is None
+        assert snap.average_hops is None
+        assert snap.max_peak_storage == 0
+        assert snap.events_processed == 5
+
+    def test_storage_aggregation(self):
+        collector = MetricsCollector()
+        collector.record_storage("a", peak=10, time_average=3.0)
+        collector.record_storage("b", peak=4, time_average=1.0)
+        snap = collector.snapshot("test", 100.0, {}, 0)
+        assert snap.max_peak_storage == 10
+        assert snap.average_peak_storage == pytest.approx(7.0)
+        assert snap.time_average_storage == pytest.approx(2.0)
+        assert snap.per_node_peak_storage == {"a": 10, "b": 4}
+
+    def test_mac_totals_copied(self):
+        snap = MetricsCollector().snapshot(
+            "test",
+            100.0,
+            {
+                "frames_sent": 10,
+                "frames_delivered": 8,
+                "frames_lost_collision": 1,
+                "frames_lost_range": 1,
+                "frames_dropped_queue": 0,
+                "retries": 2,
+                "bytes_sent": 12345,
+            },
+            0,
+        )
+        assert snap.frames_sent == 10
+        assert snap.frames_delivered == 8
+        assert snap.data_bytes_sent == 12345
+
+    def test_control_bytes(self):
+        collector = MetricsCollector()
+        collector.on_control_bytes(100)
+        collector.on_control_bytes(50)
+        snap = collector.snapshot("test", 1.0, {}, 0)
+        assert snap.control_bytes_sent == 150
+
+    def test_latency_and_hop_lists_exposed(self):
+        collector = MetricsCollector()
+        messages = [make_message(seq=i, created_at=0.0) for i in range(3)]
+        for i, m in enumerate(messages):
+            collector.on_created(m)
+            collector.on_delivered(m, now=float(i + 1), hops=i + 1)
+        snap = collector.snapshot("test", 10.0, {}, 0)
+        assert sorted(snap.latencies) == [1.0, 2.0, 3.0]
+        assert sorted(snap.hop_counts) == [1, 2, 3]

@@ -1,0 +1,147 @@
+"""Integration tests for World wiring and NodeApi scoping."""
+
+import pytest
+
+from repro.core.protocol import GLRProtocol
+from repro.geometry.primitives import Point
+from repro.mobility.base import Region
+from repro.mobility.static import StaticMobility
+from repro.sim.messages import Frame, Message
+from repro.sim.radio import RadioConfig
+from repro.sim.world import Protocol, World, WorldConfig
+
+
+class RecorderProtocol(Protocol):
+    """Minimal protocol that records every callback."""
+
+    name = "recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.created: list[Message] = []
+        self.frames: list[Frame] = []
+        self.started = False
+
+    def start(self) -> None:
+        self.started = True
+
+    def on_message_created(self, message: Message) -> None:
+        self.created.append(message)
+
+    def on_frame(self, frame: Frame) -> None:
+        self.frames.append(frame)
+
+    def storage_occupancy(self) -> int:
+        return len(self.created)
+
+    def storage_peak(self) -> int:
+        return len(self.created)
+
+
+def build_recorder_world(placements=None, radius=100.0):
+    placements = placements or {0: Point(0, 0), 1: Point(50, 0)}
+    region = Region(1000.0, 1000.0)
+    mobility = StaticMobility(region, placements)
+    world = World(
+        mobility,
+        lambda node: RecorderProtocol(),
+        WorldConfig(radio=RadioConfig(range_m=radius), seed=1),
+    )
+    return world
+
+
+class TestWorldLifecycle:
+    def test_protocols_started_once(self):
+        world = build_recorder_world()
+        world.run(until=1.0)
+        assert all(p.started for p in world.protocols.values())
+
+    def test_message_creation_dispatched_to_source(self):
+        world = build_recorder_world()
+        world.schedule_message(0, 1, at_time=0.5)
+        world.run(until=1.0)
+        assert len(world.protocols[0].created) == 1
+        assert len(world.protocols[1].created) == 0
+
+    def test_message_seq_increments_per_source(self):
+        world = build_recorder_world()
+        world.schedule_message(0, 1, at_time=0.1)
+        world.schedule_message(0, 1, at_time=0.2)
+        world.run(until=1.0)
+        seqs = [m.seq for m in world.protocols[0].created]
+        assert seqs == [0, 1]
+
+    def test_unknown_endpoint_rejected(self):
+        world = build_recorder_world()
+        with pytest.raises(KeyError):
+            world.schedule_message(0, 99, at_time=1.0)
+
+    def test_metrics_record_created_messages(self):
+        world = build_recorder_world()
+        world.schedule_message(0, 1, at_time=0.5)
+        metrics = world.run(until=1.0)
+        assert metrics.messages_created == 1
+        assert metrics.messages_delivered == 0
+
+    def test_protocol_name_in_metrics(self):
+        world = build_recorder_world()
+        metrics = world.run(until=1.0, protocol_name="custom")
+        assert metrics.protocol == "custom"
+        world2 = build_recorder_world()
+        assert world2.run(until=1.0).protocol == "recorder"
+
+
+class TestNodeApi:
+    def test_api_scoped_to_node(self):
+        world = build_recorder_world(
+            {0: Point(0, 0), 1: Point(50, 0), 2: Point(500, 500)}
+        )
+        api0 = world.protocols[0].api
+        api2 = world.protocols[2].api
+        assert api0.neighbors() == {1}
+        assert api2.neighbors() == set()
+
+    def test_own_position_is_true_position(self):
+        world = build_recorder_world()
+        assert world.protocols[0].api.position() == Point(0, 0)
+
+    def test_environment_facts(self):
+        world = build_recorder_world()
+        api = world.protocols[0].api
+        assert api.n_nodes == 2
+        assert api.region_area == 1_000_000.0
+
+    def test_send_through_mac_delivers(self):
+        from repro.sim.messages import data_frame, MessageCopy
+
+        world = build_recorder_world()
+        msg = Message.create(source=0, dest=1, seq=0, created_at=0.0)
+        copy = MessageCopy(message=msg, branch="max")
+        world.protocols[0].api.send(data_frame(0, 1, copy))
+        world.run(until=1.0)
+        assert len(world.protocols[1].frames) == 1
+
+    def test_node_rngs_differ(self):
+        world = build_recorder_world()
+        a = world.protocols[0].api.rng.random()
+        b = world.protocols[1].api.rng.random()
+        assert a != b
+
+    def test_glr_uses_world_config_radius_for_decision(self):
+        # End-to-end check that NodeApi exposes the radio range GLR's
+        # Algorithm 1 needs.
+        region = Region(1500.0, 300.0)
+        placements = {i: Point(10.0 * i, 10.0) for i in range(50)}
+        mobility = StaticMobility(region, placements)
+        world = World(
+            mobility,
+            lambda node: GLRProtocol(),
+            WorldConfig(radio=RadioConfig(range_m=50.0), seed=1),
+        )
+        world.schedule_message(0, 49, at_time=0.5)
+        world.sim.run(until=0.6)
+        source = world.protocols[0]
+        # Sparse radius at 50 m -> Algorithm 1 spawns 3 copies.
+        assert source.dual.occupancy() + len(source.dual.cache) >= 1
+        branches = {cid[1] for cid in source.dual.store.keys()}
+        assert "max" in branches
