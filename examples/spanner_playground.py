@@ -12,7 +12,7 @@ Run:
 
 import itertools
 
-from repro import Point, Region
+from repro import Region
 from repro.geometry.delaunay import stretch_factor
 from repro.graphs.connectivity import connected_components
 from repro.graphs.faces import is_planar_embedding
@@ -46,7 +46,7 @@ def main() -> None:
     radius = 250.0  # paper Figure 1(a): mostly connected
 
     print(f"50 nodes in 1000x1000 m, radius {radius:.0f} m\n")
-    udg = describe("UDG", unit_disk_graph(positions, radius))
+    describe("UDG", unit_disk_graph(positions, radius))
     describe("Gabriel", gabriel_graph(positions, radius))
     describe("RNG", relative_neighborhood_graph(positions, radius))
     ldt = describe("2-LDTG", local_delaunay_graph(positions, radius, k=2))

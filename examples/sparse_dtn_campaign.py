@@ -26,7 +26,7 @@ def main() -> None:
         f"{'radius_m':>8} {'P(conn)':>8} {'copies':>6} {'ratio':>6} "
         f"{'latency_s':>9} {'avg_peak_storage':>16}"
     )
-    print(f"Algorithm 1 + GLR across the paper's radius sweep")
+    print("Algorithm 1 + GLR across the paper's radius sweep")
     print(f"({base.n_nodes} nodes, {area:.0f} m^2, "
           f"{base.message_count} messages, {base.sim_time:.0f} s)")
     print()

@@ -14,7 +14,7 @@ geometry help".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.baselines.contact import ContactProtocol
 from repro.graphs.udg import NodeId

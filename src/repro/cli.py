@@ -1,26 +1,38 @@
-"""Command-line interface: ``glr-repro`` / ``python -m repro.cli``.
+"""Command-line interface: ``repro`` / ``glr-repro`` / ``python -m repro.cli``.
 
 Subcommands:
 
 - ``run`` — one simulation with explicit parameters, printing metrics.
 - ``experiment`` — regenerate one of the paper's figures/tables (or an
   ablation) at bench, spot, or paper effort.
+- ``campaign`` — run a declarative scenario-grid x protocol x replicate
+  sweep through the parallel campaign engine, with an on-disk result
+  cache so interrupted or repeated campaigns resume instead of
+  re-simulating.
 - ``list`` — enumerate available experiments and protocols.
 
 Examples::
 
-    glr-repro run --protocol glr --radius 100 --messages 200 --sim-time 600
-    glr-repro experiment fig4 --effort bench
-    glr-repro experiment table6 --effort spot
+    repro run --protocol glr --radius 100 --messages 200 --sim-time 600
+    repro experiment fig4 --effort bench --workers 4
+    repro campaign --radii 50,100 --protocols glr,epidemic \\
+        --replicates 3 --workers 4 --cache-dir .campaign-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable
 
 from repro.experiments import ablations, figures, tables
+from repro.experiments.campaign import (
+    CampaignSpec,
+    TaskProgress,
+    run_campaign,
+)
 from repro.experiments.common import (
     BENCH_EFFORT,
     PAPER_EFFORT,
@@ -30,8 +42,9 @@ from repro.experiments.common import (
 from repro.experiments.runner import available_protocols, run_single
 from repro.experiments.scenarios import Scenario
 
-def _fig1_driver(effort: Effort, seed: int):
-    # Figure 1 is a static-topology experiment; effort maps to run count.
+def _fig1_driver(effort: Effort, seed: int, workers: int = 1, cache_dir=None):
+    # Figure 1 is a static-topology experiment; effort maps to run count
+    # and there is nothing to parallelise or cache.
     return figures.fig1_topology(runs=effort.runs * 5, seed=seed)
 
 
@@ -82,6 +95,53 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
     exp_p.add_argument("--effort", default="bench", choices=sorted(EFFORTS))
     exp_p.add_argument("--seed", type=int, default=1)
+    exp_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="replicate simulations to run in parallel (default: serial)",
+    )
+    exp_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache; reruns skip finished simulations",
+    )
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="run a scenario-grid sweep through the campaign engine",
+    )
+    camp_p.add_argument(
+        "--spec",
+        default=None,
+        help="JSON campaign spec file (overrides the grid flags)",
+    )
+    camp_p.add_argument("--name", default="campaign")
+    camp_p.add_argument(
+        "--protocols",
+        default="glr",
+        help="comma-separated protocol list",
+    )
+    camp_p.add_argument("--replicates", type=int, default=3)
+    camp_p.add_argument(
+        "--radii",
+        default=None,
+        help="comma-separated radius grid in metres",
+    )
+    camp_p.add_argument(
+        "--node-counts",
+        default=None,
+        help="comma-separated node-count grid",
+    )
+    camp_p.add_argument("--messages", type=int, default=None)
+    camp_p.add_argument("--sim-time", type=float, default=None)
+    camp_p.add_argument("--storage-limit", type=int, default=None)
+    camp_p.add_argument("--seed", type=int, default=1)
+    camp_p.add_argument("--workers", type=int, default=1)
+    camp_p.add_argument("--cache-dir", default=None)
+    camp_p.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress"
+    )
 
     sub.add_parser("list", help="list experiments and protocols")
     return parser
@@ -128,8 +188,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     driver = EXPERIMENTS[args.name]
     effort = EFFORTS[args.effort]
-    result = driver(effort=effort, seed=args.seed)
+    result = driver(
+        effort=effort,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
     print(result.render())
+    return 0
+
+
+def _csv(text: str, convert: Callable) -> tuple:
+    return tuple(
+        convert(part.strip()) for part in text.split(",") if part.strip()
+    )
+
+
+def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec is not None:
+        return CampaignSpec.from_dict(
+            json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        )
+    overrides: dict = {"seed": args.seed}
+    if args.messages is not None:
+        overrides["message_count"] = args.messages
+    if args.sim_time is not None:
+        overrides["sim_time"] = args.sim_time
+    grid: list[tuple[str, tuple]] = []
+    if args.radii:
+        grid.append(("radius", _csv(args.radii, float)))
+    if args.node_counts:
+        counts = _csv(args.node_counts, int)
+        if not counts:
+            raise ValueError("--node-counts has no values")
+        grid.append(("n_nodes", counts))
+        # Keep the active source/destination set valid across the grid.
+        overrides["active_nodes"] = min(45, min(counts))
+    return CampaignSpec(
+        name=args.name,
+        base=Scenario(name=args.name, **overrides),
+        grid=tuple(grid),
+        protocols=_csv(args.protocols, str),
+        replicates=args.replicates,
+        buffer_limit=args.storage_limit,
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    spec = _campaign_spec_from_args(args)
+    total = spec.total_tasks()
+    print(
+        f"campaign {spec.name}: {len(spec.scenarios())} scenarios x "
+        f"{len(spec.protocols)} protocols x {spec.replicates} replicates "
+        f"= {total} simulations ({args.workers} workers)"
+    )
+
+    def progress(event: TaskProgress) -> None:
+        source = "cache" if event.cached else "ran"
+        print(
+            f"[{event.done}/{event.total}] {event.task.scenario.name} "
+            f"{event.task.protocol} #{event.task.replicate} ({source})"
+        )
+
+    result = run_campaign(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=None if args.quiet else progress,
+    )
+    print()
+    print(result.render())
+    print(result.cache_line())
     return 0
 
 
@@ -152,12 +281,33 @@ def _cmd_list(_: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "list":
-        return _cmd_list(args)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        if args.command == "list":
+            return _cmd_list(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, | less): exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
+    except (ValueError, OSError) as exc:
+        # Bad user input (unknown protocol, malformed spec/grid, missing
+        # file); json.JSONDecodeError is a ValueError subclass.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        hint = ""
+        if getattr(args, "cache_dir", None):
+            hint = " — rerun with the same --cache-dir to resume"
+        print(f"\ninterrupted{hint}", file=sys.stderr)
+        return 130
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -4,6 +4,15 @@ that regenerate every table and figure of the paper's evaluation.
 See DESIGN.md Section 4 for the experiment-to-module index.
 """
 
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    ReplicateSpec,
+    ReplicateTask,
+    ResultCache,
+    run_campaign,
+    run_replicate_specs,
+)
 from repro.experiments.runner import (
     available_protocols,
     build_world,
@@ -15,11 +24,18 @@ from repro.experiments.workload import WorkloadSpec, generate_workload
 
 __all__ = [
     "PAPER_TABLE1",
+    "CampaignResult",
+    "CampaignSpec",
+    "ReplicateSpec",
+    "ReplicateTask",
+    "ResultCache",
     "Scenario",
     "WorkloadSpec",
     "available_protocols",
     "build_world",
     "generate_workload",
+    "run_campaign",
+    "run_replicate_specs",
     "run_replicates",
     "run_single",
 ]

@@ -14,9 +14,11 @@ what it actually buys.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.protocol import GLRConfig
+from repro.experiments.campaign import ReplicateSpec, run_replicate_specs
 from repro.experiments.common import BENCH_EFFORT, Effort, ci_of, fmt_ci
-from repro.experiments.runner import run_replicates
 from repro.experiments.scenarios import Scenario
 from repro.experiments.tables import TableResult
 
@@ -26,6 +28,8 @@ def ablation_copies(
     effort: Effort = BENCH_EFFORT,
     radius: float = 50.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """Fixed copy counts vs the Algorithm 1 adaptive decision."""
     result = TableResult(
@@ -38,17 +42,23 @@ def ablation_copies(
         (str(c), GLRConfig(copies_override=c)) for c in copy_counts
     ]
     configs.append(("algorithm-1", GLRConfig()))
-    for label, config in configs:
-        scenario = Scenario(
-            name=f"ablation-copies-{label}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"ablation-copies-{label}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol="glr",
+            runs=effort.runs,
+            glr_config=config,
         )
-        runs = run_replicates(
-            scenario, "glr", runs=effort.runs, glr_config=config
-        )
+        for label, config in configs
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for (label, _), runs in zip(configs, cells):
         result.rows.append(
             [
                 label,
@@ -64,6 +74,8 @@ def ablation_spanner(
     effort: Effort = BENCH_EFFORT,
     radius: float = 100.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """LDTG routing graph vs raw unit-disk neighbours."""
     result = TableResult(
@@ -72,20 +84,24 @@ def ablation_spanner(
         f"{effort.message_count} messages)",
         headers=["spanner", "delivery_ratio", "latency_s", "hops"],
     )
-    for label, use_ldt in (("ldt", True), ("udg", False)):
-        scenario = Scenario(
-            name=f"ablation-spanner-{label}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
-        )
-        runs = run_replicates(
-            scenario,
-            "glr",
+    variants = (("ldt", True), ("udg", False))
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"ablation-spanner-{label}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol="glr",
             runs=effort.runs,
             glr_config=GLRConfig(use_ldt=use_ldt),
         )
+        for label, use_ldt in variants
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for (label, _), runs in zip(variants, cells):
         result.rows.append(
             [
                 label,
@@ -101,6 +117,8 @@ def ablation_face_routing(
     effort: Effort = BENCH_EFFORT,
     radius: float = 100.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """Face-routing recovery on vs off."""
     result = TableResult(
@@ -109,20 +127,24 @@ def ablation_face_routing(
         f"{effort.message_count} messages)",
         headers=["face_routing", "delivery_ratio", "latency_s", "hops"],
     )
-    for enabled in (True, False):
-        scenario = Scenario(
-            name=f"ablation-face-{enabled}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
-        )
-        runs = run_replicates(
-            scenario,
-            "glr",
+    variants = (True, False)
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"ablation-face-{enabled}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol="glr",
             runs=effort.runs,
             glr_config=GLRConfig(face_routing=enabled),
         )
+        for enabled in variants
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for enabled, runs in zip(variants, cells):
         result.rows.append(
             [
                 "on" if enabled else "off",
@@ -139,6 +161,8 @@ def ablation_custody_timeout(
     effort: Effort = BENCH_EFFORT,
     radius: float = 50.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """Sensitivity of delivery to the custody retransmit timeout."""
     result = TableResult(
@@ -147,20 +171,23 @@ def ablation_custody_timeout(
         f"{effort.message_count} messages)",
         headers=["timeout_s", "delivery_ratio", "latency_s"],
     )
-    for timeout in timeouts:
-        scenario = Scenario(
-            name=f"ablation-custody-{timeout}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
-        )
-        runs = run_replicates(
-            scenario,
-            "glr",
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"ablation-custody-{timeout}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol="glr",
             runs=effort.runs,
             glr_config=GLRConfig(custody_timeout=timeout),
         )
+        for timeout in timeouts
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for timeout, runs in zip(timeouts, cells):
         result.rows.append(
             [
                 f"{timeout:.0f}",
@@ -175,6 +202,8 @@ def ablation_protocols(
     effort: Effort = BENCH_EFFORT,
     radius: float = 100.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """All implemented protocols side by side in one scenario."""
     result = TableResult(
@@ -189,21 +218,29 @@ def ablation_protocols(
             "avg_peak_storage",
         ],
     )
-    for protocol in (
+    protocols = (
         "glr",
         "epidemic",
         "spray_and_wait",
         "first_contact",
         "direct",
-    ):
-        scenario = Scenario(
-            name=f"ablation-protocols-{protocol}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
+    )
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"ablation-protocols-{protocol}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol=protocol,
+            runs=effort.runs,
         )
-        runs = run_replicates(scenario, protocol, runs=effort.runs)
+        for protocol in protocols
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for protocol, runs in zip(protocols, cells):
         result.rows.append(
             [
                 protocol,

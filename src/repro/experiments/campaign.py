@@ -1,0 +1,566 @@
+"""Campaign engine: parallel replicated sweeps with a resumable cache.
+
+The paper's evaluation is a grid — scenarios x protocols x replicate
+seeds — and every figure/table driver walks some slice of that grid.
+This module is the one place that executes such grids:
+
+- :class:`ReplicateSpec` describes one grid cell (a scenario, a
+  protocol, per-protocol configs, and a replicate count); it expands to
+  :class:`ReplicateTask` leaves whose seeds come from
+  :func:`repro.seeding.replicate_seed`, the same rule the serial
+  reference path uses, so parallel results are bit-identical to serial.
+- :func:`execute_tasks` fans tasks out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``workers > 1``) or
+  runs them inline (``workers == 1``, the reference behaviour).
+- :class:`ResultCache` is a content-addressed on-disk JSON store keyed
+  by the code-relevant task parameters (scenario fields minus the
+  display name, protocol, configs, seed, cache format version), so an
+  interrupted campaign resumes where it stopped and repeated benches
+  skip finished work.  Corrupt or partial entries are detected and
+  recomputed, never silently loaded.
+- :class:`CampaignSpec` is the declarative top layer: a base scenario,
+  a field grid, protocols, and a replicate count.  :func:`run_campaign`
+  executes it and aggregates with :mod:`repro.analysis.aggregate` /
+  :mod:`repro.analysis.ci`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.aggregate import MetricSummary, summarize_metrics
+from repro.analysis.render import render_table
+from repro.baselines.epidemic import EpidemicConfig
+from repro.baselines.spray_and_wait import SprayAndWaitConfig
+from repro.core.protocol import GLRConfig
+from repro.experiments.common import ci_of, fmt_ci
+from repro.experiments.runner import available_protocols, run_single
+from repro.experiments.scenarios import Scenario
+from repro.seeding import replicate_seed
+from repro.sim.stats import SimulationMetrics
+
+#: Bump whenever simulation semantics change in a way that invalidates
+#: previously cached metrics (it is part of every cache key).
+CACHE_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# Tasks and specs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReplicateTask:
+    """One simulation leaf: a fully seeded scenario plus its protocol."""
+
+    scenario: Scenario
+    protocol: str
+    replicate: int
+    glr_config: GLRConfig | None = None
+    epidemic_config: EpidemicConfig | None = None
+    spray_config: SprayAndWaitConfig | None = None
+    buffer_limit: int | None = None
+
+
+@dataclass(frozen=True)
+class ReplicateSpec:
+    """One grid cell: ``runs`` replicates of (scenario, protocol)."""
+
+    scenario: Scenario
+    protocol: str
+    runs: int = 10
+    glr_config: GLRConfig | None = None
+    epidemic_config: EpidemicConfig | None = None
+    spray_config: SprayAndWaitConfig | None = None
+    buffer_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError("need at least one run")
+
+    def tasks(self) -> list[ReplicateTask]:
+        """Expand to seeded per-replicate tasks (deterministic order)."""
+        return [
+            ReplicateTask(
+                scenario=self.scenario.with_seed(
+                    replicate_seed(self.scenario.seed, i)
+                ),
+                protocol=self.protocol,
+                replicate=i,
+                glr_config=self.glr_config,
+                epidemic_config=self.epidemic_config,
+                spray_config=self.spray_config,
+                buffer_limit=self.buffer_limit,
+            )
+            for i in range(self.runs)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed cache
+# ---------------------------------------------------------------------------
+
+def _canonical(value: object) -> object:
+    """A JSON-serialisable canonical form of configs and scenarios."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return {
+            str(k): _canonical(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for cache key")
+
+
+def task_payload(task: ReplicateTask) -> dict:
+    """The code-relevant parameters a task's cache key is built from.
+
+    The scenario's display ``name`` is excluded so renaming a sweep
+    does not invalidate its cached simulations.
+    """
+    scenario = _canonical(task.scenario)
+    scenario.pop("name", None)
+    return {
+        "format": CACHE_FORMAT,
+        "scenario": scenario,
+        "protocol": task.protocol,
+        "glr_config": _canonical(task.glr_config),
+        "epidemic_config": _canonical(task.epidemic_config),
+        "spray_config": _canonical(task.spray_config),
+        "buffer_limit": task.buffer_limit,
+    }
+
+
+def task_key(task: ReplicateTask) -> str:
+    """Content hash addressing one task's cached metrics."""
+    blob = json.dumps(
+        task_payload(task), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+_METRIC_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(SimulationMetrics)
+)
+
+
+def _decode_metrics(payload: object, task: ReplicateTask) -> SimulationMetrics | None:
+    """Rebuild metrics from a cache payload; ``None`` if anything is off."""
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("format") != CACHE_FORMAT:
+        return None
+    data = payload.get("metrics")
+    if not isinstance(data, dict) or set(data) != _METRIC_FIELDS:
+        return None
+    data = dict(data)
+    peaks = data.get("per_node_peak_storage")
+    latencies = data.get("latencies")
+    hops = data.get("hop_counts")
+    if not isinstance(peaks, dict):
+        return None
+    if not isinstance(latencies, list) or not isinstance(hops, list):
+        return None
+    try:
+        data["per_node_peak_storage"] = {
+            int(k): int(v) for k, v in peaks.items()
+        }
+        data["latencies"] = [float(v) for v in latencies]
+        data["hop_counts"] = [int(v) for v in hops]
+        metrics = SimulationMetrics(**data)
+    except (TypeError, ValueError):
+        return None
+    if metrics.protocol != task.protocol:
+        return None
+    if not isinstance(metrics.messages_created, int):
+        return None
+    if not isinstance(metrics.delivery_ratio, (int, float)):
+        return None
+    return metrics
+
+
+class ResultCache:
+    """On-disk JSON store of per-task metrics, addressed by content hash.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is
+    :func:`task_key`.  Each file holds the format version, the full key
+    payload (for human inspection), and the serialised metrics.  Writes
+    are atomic (temp file + rename) so a killed campaign never leaves a
+    half-written entry that a resume would trust; loads validate the
+    payload and fall back to recomputation on any mismatch.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (existing or not)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, task: ReplicateTask) -> SimulationMetrics | None:
+        """Cached metrics for ``task``, or ``None`` (counted as a miss)."""
+        path = self.path_for(task_key(task))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            self.misses += 1
+            return None
+        metrics = _decode_metrics(payload, task)
+        if metrics is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def store(self, task: ReplicateTask, metrics: SimulationMetrics) -> None:
+        """Atomically persist ``metrics`` under ``task``'s key."""
+        path = self.path_for(task_key(task))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": task_payload(task),
+            "metrics": dataclasses.asdict(metrics),
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    @property
+    def lookups(self) -> int:
+        """Total load attempts so far."""
+        return self.hits + self.misses
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TaskProgress:
+    """One progress tick: ``done`` of ``total`` tasks finished."""
+
+    done: int
+    total: int
+    task: ReplicateTask
+    cached: bool
+
+
+ProgressCallback = Callable[[TaskProgress], None]
+
+
+def _run_task(task: ReplicateTask) -> SimulationMetrics:
+    """Simulate one task (module-level so it pickles into worker procs)."""
+    return run_single(
+        task.scenario,
+        task.protocol,
+        glr_config=task.glr_config,
+        epidemic_config=task.epidemic_config,
+        spray_config=task.spray_config,
+        buffer_limit=task.buffer_limit,
+    )
+
+
+def execute_tasks(
+    tasks: Sequence[ReplicateTask],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[SimulationMetrics]:
+    """Run every task, in input order, using cache and process pool.
+
+    Each task is an independent simulation with a pre-derived seed, so
+    the result list is identical whatever ``workers`` is; parallelism
+    only changes wall-clock time.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    results: list[SimulationMetrics | None] = [None] * len(tasks)
+    done = 0
+
+    def tick(index: int, cached: bool) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(TaskProgress(done, len(tasks), tasks[index], cached))
+
+    pending: list[int] = []
+    for i, task in enumerate(tasks):
+        metrics = cache.load(task) if cache is not None else None
+        if metrics is not None:
+            results[i] = metrics
+            tick(i, cached=True)
+        else:
+            pending.append(i)
+
+    if pending and workers > 1 and len(pending) > 1:
+        pool_size = min(workers, len(pending))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {
+                pool.submit(_run_task, tasks[i]): i for i in pending
+            }
+            for future in as_completed(futures):
+                i = futures[future]
+                metrics = future.result()
+                if cache is not None:
+                    cache.store(tasks[i], metrics)
+                results[i] = metrics
+                tick(i, cached=False)
+    else:
+        for i in pending:
+            metrics = _run_task(tasks[i])
+            if cache is not None:
+                cache.store(tasks[i], metrics)
+            results[i] = metrics
+            tick(i, cached=False)
+
+    return [r for r in results if r is not None]
+
+
+def run_replicate_specs(
+    specs: Sequence[ReplicateSpec],
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[list[SimulationMetrics]]:
+    """Execute a batch of grid cells; one metrics list per input spec.
+
+    All cells' tasks are flattened into one pool so parallelism spans
+    the whole sweep rather than one cell at a time.  This is the entry
+    the figure/table/ablation drivers route their replicate loops
+    through.
+    """
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    tasks: list[ReplicateTask] = []
+    bounds: list[tuple[int, int]] = []
+    for spec in specs:
+        start = len(tasks)
+        tasks.extend(spec.tasks())
+        bounds.append((start, len(tasks)))
+    flat = execute_tasks(tasks, workers=workers, cache=cache, progress=progress)
+    return [flat[start:stop] for start, stop in bounds]
+
+
+# ---------------------------------------------------------------------------
+# Declarative campaigns
+# ---------------------------------------------------------------------------
+
+_SCENARIO_FIELDS = frozenset(f.name for f in dataclasses.fields(Scenario))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep: base scenario x field grid x protocols.
+
+    ``grid`` is an ordered tuple of ``(scenario_field, values)`` pairs;
+    the campaign runs the cartesian product of all value axes, each
+    combination under every protocol, ``replicates`` times.  Grid
+    scenarios are named ``<name>/<field>=<value>,...`` for reporting.
+    """
+
+    name: str
+    base: Scenario = field(default_factory=Scenario)
+    grid: tuple[tuple[str, tuple], ...] = ()
+    protocols: tuple[str, ...] = ("glr",)
+    replicates: int = 3
+    buffer_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.replicates < 1:
+            raise ValueError("need at least one replicate")
+        if not self.protocols:
+            raise ValueError("need at least one protocol")
+        known = available_protocols()
+        for protocol in self.protocols:
+            if protocol not in known:
+                raise ValueError(
+                    f"unknown protocol {protocol!r}; choose from {known}"
+                )
+        for fname, values in self.grid:
+            if fname == "name" or fname not in _SCENARIO_FIELDS:
+                raise ValueError(f"unknown scenario grid field {fname!r}")
+            if not values:
+                raise ValueError(f"grid field {fname!r} has no values")
+            if len(set(values)) != len(values):
+                # Duplicate values would produce identically named cells
+                # that silently overwrite each other in the result map.
+                raise ValueError(f"grid field {fname!r} has duplicate values")
+
+    def scenarios(self) -> list[Scenario]:
+        """The scenario grid, in deterministic sweep order."""
+        if not self.grid:
+            return [self.base.but(name=self.name)]
+        fields = [fname for fname, _ in self.grid]
+        axes = [values for _, values in self.grid]
+        scenarios = []
+        for combo in itertools.product(*axes):
+            overrides = dict(zip(fields, combo))
+            label = ",".join(f"{k}={v}" for k, v in overrides.items())
+            scenarios.append(
+                self.base.but(name=f"{self.name}/{label}", **overrides)
+            )
+        return scenarios
+
+    def specs(self) -> list[ReplicateSpec]:
+        """One :class:`ReplicateSpec` per (scenario, protocol) cell."""
+        return [
+            ReplicateSpec(
+                scenario=scenario,
+                protocol=protocol,
+                runs=self.replicates,
+                buffer_limit=self.buffer_limit,
+            )
+            for scenario in self.scenarios()
+            for protocol in self.protocols
+        ]
+
+    def total_tasks(self) -> int:
+        """Number of simulation leaves the campaign expands to."""
+        return len(self.scenarios()) * len(self.protocols) * self.replicates
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        base = dataclasses.asdict(self.base)
+        region = base.pop("region")
+        base["region"] = [region["width"], region["height"]]
+        return {
+            "name": self.name,
+            "base": base,
+            "grid": {fname: list(values) for fname, values in self.grid},
+            "protocols": list(self.protocols),
+            "replicates": self.replicates,
+            "buffer_limit": self.buffer_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+        """Build a spec from a JSON document.
+
+        ``base`` holds :class:`Scenario` field overrides (``region`` as
+        a ``[width, height]`` pair); ``grid`` maps scenario fields to
+        value lists.
+        """
+        from repro.mobility.base import Region
+
+        base_overrides = dict(data.get("base", {}))
+        unknown = set(base_overrides) - _SCENARIO_FIELDS
+        if unknown:
+            raise ValueError(f"unknown scenario fields {sorted(unknown)}")
+        if "region" in base_overrides:
+            width, height = base_overrides["region"]
+            base_overrides["region"] = Region(float(width), float(height))
+        grid = tuple(
+            (fname, tuple(values))
+            for fname, values in dict(data.get("grid", {})).items()
+        )
+        return cls(
+            name=str(data.get("name", "campaign")),
+            base=Scenario().but(**base_overrides),
+            grid=grid,
+            protocols=tuple(data.get("protocols", ("glr",))),
+            replicates=int(data.get("replicates", 3)),
+            buffer_limit=data.get("buffer_limit"),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Executed campaign: per-cell replicate metrics plus cache stats."""
+
+    spec: CampaignSpec
+    metrics: dict[tuple[str, str], list[SimulationMetrics]]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_enabled: bool = False
+
+    def summaries(self) -> dict[tuple[str, str], MetricSummary]:
+        """90% CI summary per (scenario name, protocol) cell."""
+        return {
+            cell: summarize_metrics(runs)
+            for cell, runs in self.metrics.items()
+        }
+
+    def cache_line(self) -> str:
+        """Human-readable cache statistics for progress output."""
+        if not self.cache_enabled:
+            return "cache: disabled"
+        total = self.cache_hits + self.cache_misses
+        rate = 100.0 * self.cache_hits / total if total else 0.0
+        return (
+            f"cache: {self.cache_hits} hits, {self.cache_misses} misses "
+            f"({rate:.1f}% hit rate)"
+        )
+
+    def render(self) -> str:
+        """Paper-style summary table of every campaign cell."""
+        rows = []
+        for (scenario_name, protocol), runs in self.metrics.items():
+            rows.append(
+                [
+                    scenario_name,
+                    protocol,
+                    fmt_ci(ci_of(runs, "delivery_ratio"), digits=3),
+                    fmt_ci(ci_of(runs, "average_latency")),
+                    fmt_ci(ci_of(runs, "average_hops"), digits=2),
+                    fmt_ci(ci_of(runs, "average_peak_storage")),
+                ]
+            )
+        return render_table(
+            f"campaign {self.spec.name}: {self.spec.replicates} replicates",
+            [
+                "scenario",
+                "protocol",
+                "delivery_ratio",
+                "latency_s",
+                "hops",
+                "avg_peak_storage",
+            ],
+            rows,
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
+    progress: ProgressCallback | None = None,
+) -> CampaignResult:
+    """Execute a declarative campaign and aggregate its grid."""
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    cell_specs = spec.specs()
+    per_cell = run_replicate_specs(
+        cell_specs, workers=workers, cache=cache, progress=progress
+    )
+    metrics = {
+        (cell.scenario.name, cell.protocol): runs
+        for cell, runs in zip(cell_specs, per_cell)
+    }
+    return CampaignResult(
+        spec=spec,
+        metrics=metrics,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+        cache_enabled=cache is not None,
+    )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -40,6 +41,21 @@ BENCH_EFFORT = Effort(runs=2, sim_time=420.0, message_count=120)
 
 #: Middle ground used for EXPERIMENTS.md spot checks.
 SPOT_EFFORT = Effort(runs=3, sim_time=1200.0, message_count=400)
+
+
+def bench_workers(default: int = 1) -> int:
+    """Worker count for the benchmark drivers.
+
+    The benches stay serial by default so their timings keep measuring
+    the simulator; set ``REPRO_BENCH_WORKERS=N`` to fan the replicate
+    loops out over the campaign engine's process pool instead.
+    """
+    value = os.environ.get("REPRO_BENCH_WORKERS", "")
+    try:
+        workers = int(value)
+    except ValueError:
+        return default
+    return workers if workers >= 1 else default
 
 
 def ci_of(

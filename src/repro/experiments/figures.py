@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
 from repro.analysis.ci import ConfidenceInterval
 from repro.analysis.render import render_series
 from repro.core.protocol import GLRConfig
+from repro.experiments.campaign import ReplicateSpec, run_replicate_specs
 from repro.experiments.common import BENCH_EFFORT, Effort, ci_of
-from repro.experiments.runner import run_replicates
 from repro.experiments.scenarios import Scenario
 from repro.graphs.connectivity import (
     connected_components,
@@ -119,6 +121,8 @@ def fig3_check_interval(
     effort: Effort = BENCH_EFFORT,
     radius: float = 100.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> SeriesResult:
     """Figure 3: GLR delivery latency under different check intervals.
 
@@ -133,22 +137,24 @@ def fig3_check_interval(
         f"({effort.message_count} messages, {radius:.0f}m)",
         x_label="check_interval_s",
     )
-    latencies = []
-    control = []
-    for interval in intervals:
-        scenario = Scenario(
-            name=f"fig3-{interval}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
-        )
-        runs = run_replicates(
-            scenario,
-            "glr",
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"fig3-{interval}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol="glr",
             runs=effort.runs,
             glr_config=GLRConfig(check_interval=interval),
         )
+        for interval in intervals
+    ]
+    latencies = []
+    control = []
+    for runs in run_replicate_specs(specs, workers=workers, cache_dir=cache_dir):
         latencies.append(ci_of(runs, "average_latency"))
         control.append(ci_of(runs, "frames_sent"))
     result.xs = list(intervals)
@@ -169,14 +175,15 @@ def _latency_vs_load(
     loads: tuple[int, ...],
     effort: Effort,
     seed: int,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> SeriesResult:
     result = SeriesResult(
         experiment=experiment,
         title=f"delivery latency vs messages in transit ({radius:.0f}m)",
         x_label="messages",
     )
-    glr_series = []
-    epidemic_series = []
+    specs = []
     for load in loads:
         # Horizon: generation takes `load` seconds; leave the same again
         # for deliveries to finish, bounded below by the effort horizon.
@@ -188,8 +195,16 @@ def _latency_vs_load(
             sim_time=sim_time,
             seed=seed,
         )
-        glr_runs = run_replicates(scenario, "glr", runs=effort.runs)
-        epidemic_runs = run_replicates(scenario, "epidemic", runs=effort.runs)
+        for protocol in ("glr", "epidemic"):
+            specs.append(
+                ReplicateSpec(
+                    scenario=scenario, protocol=protocol, runs=effort.runs
+                )
+            )
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    glr_series = []
+    epidemic_series = []
+    for glr_runs, epidemic_runs in zip(cells[0::2], cells[1::2]):
         glr_series.append(ci_of(glr_runs, "average_latency"))
         epidemic_series.append(ci_of(epidemic_runs, "average_latency"))
     result.xs = [float(x) for x in loads]
@@ -204,18 +219,26 @@ def fig4_latency_vs_load(
     loads: tuple[int, ...] = (100, 400, 890, 1400, 1980),
     effort: Effort = BENCH_EFFORT,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> SeriesResult:
     """Figure 4: latency vs number of messages, 50 m radius."""
-    return _latency_vs_load("fig4", 50.0, loads, effort, seed)
+    return _latency_vs_load(
+        "fig4", 50.0, loads, effort, seed, workers, cache_dir
+    )
 
 
 def fig5_latency_vs_load(
     loads: tuple[int, ...] = (100, 400, 890, 1400, 1980),
     effort: Effort = BENCH_EFFORT,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> SeriesResult:
     """Figure 5: latency vs number of messages, 100 m radius."""
-    return _latency_vs_load("fig5", 100.0, loads, effort, seed)
+    return _latency_vs_load(
+        "fig5", 100.0, loads, effort, seed, workers, cache_dir
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -226,6 +249,8 @@ def fig6_latency_vs_radius(
     radii: tuple[float, ...] = (50.0, 100.0, 150.0, 200.0, 250.0),
     effort: Effort = BENCH_EFFORT,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> SeriesResult:
     """Figure 6: latency vs transmission radius, fixed message count.
 
@@ -238,18 +263,25 @@ def fig6_latency_vs_radius(
         title=f"delivery latency vs radius ({effort.message_count} messages)",
         x_label="radius_m",
     )
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"fig6-{radius}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol=protocol,
+            runs=effort.runs,
+        )
+        for radius in radii
+        for protocol in ("glr", "epidemic")
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
     glr_series = []
     epidemic_series = []
-    for radius in radii:
-        scenario = Scenario(
-            name=f"fig6-{radius}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
-        )
-        glr_runs = run_replicates(scenario, "glr", runs=effort.runs)
-        epidemic_runs = run_replicates(scenario, "epidemic", runs=effort.runs)
+    for glr_runs, epidemic_runs in zip(cells[0::2], cells[1::2]):
         glr_series.append(ci_of(glr_runs, "average_latency"))
         epidemic_series.append(ci_of(epidemic_runs, "average_latency"))
     result.xs = list(radii)
@@ -269,6 +301,8 @@ def fig7_delivery_vs_storage(
     effort: Effort = BENCH_EFFORT,
     radius: float = 50.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> SeriesResult:
     """Figure 7: delivery ratio under per-node storage limits (50 m).
 
@@ -282,22 +316,26 @@ def fig7_delivery_vs_storage(
         f"messages, {radius:.0f}m)",
         x_label="storage_limit_msgs",
     )
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"fig7-{limit}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol=protocol,
+            runs=effort.runs,
+            buffer_limit=limit,
+        )
+        for limit in limits
+        for protocol in ("glr", "epidemic")
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
     glr_series = []
     epidemic_series = []
-    for limit in limits:
-        scenario = Scenario(
-            name=f"fig7-{limit}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
-        )
-        glr_runs = run_replicates(
-            scenario, "glr", runs=effort.runs, buffer_limit=limit
-        )
-        epidemic_runs = run_replicates(
-            scenario, "epidemic", runs=effort.runs, buffer_limit=limit
-        )
+    for glr_runs, epidemic_runs in zip(cells[0::2], cells[1::2]):
         glr_series.append(ci_of(glr_runs, "delivery_ratio"))
         epidemic_series.append(ci_of(epidemic_runs, "delivery_ratio"))
     result.xs = [float(x) for x in limits]

@@ -20,6 +20,7 @@ from repro.core.protocol import GLRConfig, GLRProtocol
 from repro.experiments.scenarios import Scenario
 from repro.experiments.workload import generate_workload
 from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.seeding import replicate_seed
 from repro.sim.mac import MacConfig
 from repro.sim.radio import RadioConfig
 from repro.sim.stats import SimulationMetrics
@@ -153,22 +154,45 @@ def run_replicates(
     epidemic_config: EpidemicConfig | None = None,
     spray_config: SprayAndWaitConfig | None = None,
     buffer_limit: int | None = None,
+    workers: int = 1,
+    cache_dir: str | None = None,
 ) -> list[SimulationMetrics]:
     """Replicate ``scenario`` over ``runs`` seeds (paper: 10 topologies).
 
-    Seeds are ``scenario.seed + 1000 * i`` so replicate populations are
-    disjoint but reproducible.
+    Replicate seeds come from :func:`repro.seeding.replicate_seed`
+    (``scenario.seed + 1000 * i``) so populations are disjoint but
+    reproducible.  The default serial in-process loop is the reference
+    behaviour; ``workers > 1`` and/or ``cache_dir`` route the same
+    seeded tasks through the campaign engine
+    (:mod:`repro.experiments.campaign`), which returns bit-identical
+    metrics because every task's seed is derived before dispatch.
     """
     if runs < 1:
         raise ValueError("need at least one run")
-    return [
-        run_single(
-            scenario.with_seed(scenario.seed + 1000 * i),
-            protocol,
-            glr_config=glr_config,
-            epidemic_config=epidemic_config,
-            spray_config=spray_config,
-            buffer_limit=buffer_limit,
-        )
-        for i in range(runs)
-    ]
+    if workers == 1 and cache_dir is None:
+        return [
+            run_single(
+                scenario.with_seed(replicate_seed(scenario.seed, i)),
+                protocol,
+                glr_config=glr_config,
+                epidemic_config=epidemic_config,
+                spray_config=spray_config,
+                buffer_limit=buffer_limit,
+            )
+            for i in range(runs)
+        ]
+    # Imported lazily: campaign builds on this module's run_single.
+    from repro.experiments.campaign import ReplicateSpec, run_replicate_specs
+
+    spec = ReplicateSpec(
+        scenario=scenario,
+        protocol=protocol,
+        runs=runs,
+        glr_config=glr_config,
+        epidemic_config=epidemic_config,
+        spray_config=spray_config,
+        buffer_limit=buffer_limit,
+    )
+    return run_replicate_specs(
+        [spec], workers=workers, cache_dir=cache_dir
+    )[0]

@@ -9,11 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
 from repro.analysis.render import render_table
 from repro.core.location import LocationMode
 from repro.core.protocol import GLRConfig
+from repro.experiments.campaign import ReplicateSpec, run_replicate_specs
 from repro.experiments.common import BENCH_EFFORT, Effort, ci_of, fmt_ci
-from repro.experiments.runner import run_replicates
 from repro.experiments.scenarios import Scenario
 
 
@@ -41,6 +43,8 @@ def table2_location(
     effort: Effort = BENCH_EFFORT,
     radius: float = 100.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """Table 2: delivery under four destination-knowledge situations.
 
@@ -73,20 +77,23 @@ def table2_location(
             "avg_peak_storage",
         ],
     )
-    for copies_label, knowledge, copies, mode in situations:
-        scenario = Scenario(
-            name=f"table2-{copies}-{mode.value}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
-        )
-        runs = run_replicates(
-            scenario,
-            "glr",
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"table2-{copies}-{mode.value}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol="glr",
             runs=effort.runs,
             glr_config=GLRConfig(copies_override=copies, location_mode=mode),
         )
+        for _, _, copies, mode in situations
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for (copies_label, knowledge, _, _), runs in zip(situations, cells):
         result.rows.append(
             [
                 copies_label,
@@ -108,6 +115,8 @@ def table3_custody(
     effort: Effort = BENCH_EFFORT,
     radius: float = 50.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """Table 3: delivery ratio with vs without custody transfer (50 m).
 
@@ -121,20 +130,24 @@ def table3_custody(
         f"({effort.message_count} messages, {radius:.0f}m)",
         headers=["custody transfer", "delivery_ratio", "latency_s"],
     )
-    for custody in (False, True):
-        scenario = Scenario(
-            name=f"table3-custody-{custody}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
-        )
-        runs = run_replicates(
-            scenario,
-            "glr",
+    custody_values = (False, True)
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"table3-custody-{custody}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol="glr",
             runs=effort.runs,
             glr_config=GLRConfig(custody=custody),
         )
+        for custody in custody_values
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for custody, runs in zip(custody_values, cells):
         result.rows.append(
             [
                 "with" if custody else "without",
@@ -154,6 +167,8 @@ def table4_storage_vs_load(
     effort: Effort = BENCH_EFFORT,
     radius: float = 50.0,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """Table 4: GLR peak storage vs number of messages (50 m, 3 copies).
 
@@ -166,21 +181,23 @@ def table4_storage_vs_load(
         "3 copies)",
         headers=["messages", "max_peak_storage", "avg_peak_storage"],
     )
-    for load in loads:
-        sim_time = max(effort.sim_time, 1.5 * load)
-        scenario = Scenario(
-            name=f"table4-{load}",
-            radius=radius,
-            message_count=load,
-            sim_time=sim_time,
-            seed=seed,
-        )
-        runs = run_replicates(
-            scenario,
-            "glr",
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"table4-{load}",
+                radius=radius,
+                message_count=load,
+                sim_time=max(effort.sim_time, 1.5 * load),
+                seed=seed,
+            ),
+            protocol="glr",
             runs=effort.runs,
             glr_config=GLRConfig(copies_override=3),
         )
+        for load in loads
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for load, runs in zip(loads, cells):
         result.rows.append(
             [
                 str(load),
@@ -199,6 +216,8 @@ def table5_storage_vs_radius(
     radii: tuple[float, ...] = (250.0, 200.0, 150.0, 100.0, 50.0),
     effort: Effort = BENCH_EFFORT,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """Table 5: GLR peak storage vs radius (paper: 1980 messages).
 
@@ -212,15 +231,22 @@ def table5_storage_vs_radius(
         f"({effort.message_count} messages)",
         headers=["radius_m", "max_peak_storage", "avg_peak_storage"],
     )
-    for radius in radii:
-        scenario = Scenario(
-            name=f"table5-{radius}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"table5-{radius}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol="glr",
+            runs=effort.runs,
         )
-        runs = run_replicates(scenario, "glr", runs=effort.runs)
+        for radius in radii
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for radius, runs in zip(radii, cells):
         result.rows.append(
             [
                 f"{radius:.0f}",
@@ -239,6 +265,8 @@ def table6_hops(
     radii: tuple[float, ...] = (250.0, 200.0, 150.0, 100.0, 50.0),
     effort: Effort = BENCH_EFFORT,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> TableResult:
     """Table 6: average hop count, GLR vs epidemic, across radii.
 
@@ -252,16 +280,25 @@ def table6_hops(
         title=f"hop counts ({effort.message_count} messages)",
         headers=["radius_m", "glr_hops", "epidemic_hops"],
     )
-    for radius in radii:
-        scenario = Scenario(
-            name=f"table6-{radius}",
-            radius=radius,
-            message_count=effort.message_count,
-            sim_time=effort.sim_time,
-            seed=seed,
+    specs = [
+        ReplicateSpec(
+            scenario=Scenario(
+                name=f"table6-{radius}",
+                radius=radius,
+                message_count=effort.message_count,
+                sim_time=effort.sim_time,
+                seed=seed,
+            ),
+            protocol=protocol,
+            runs=effort.runs,
         )
-        glr_runs = run_replicates(scenario, "glr", runs=effort.runs)
-        epidemic_runs = run_replicates(scenario, "epidemic", runs=effort.runs)
+        for radius in radii
+        for protocol in ("glr", "epidemic")
+    ]
+    cells = run_replicate_specs(specs, workers=workers, cache_dir=cache_dir)
+    for radius, glr_runs, epidemic_runs in zip(
+        radii, cells[0::2], cells[1::2]
+    ):
         result.rows.append(
             [
                 f"{radius:.0f}",

@@ -20,3 +20,23 @@ def derive_seed(*parts: object) -> str:
 def derive_rng(*parts: object) -> random.Random:
     """A :class:`random.Random` seeded from the flattened key parts."""
     return random.Random(derive_seed(*parts))
+
+
+#: Spacing between replicate master seeds.  Seeds within one scenario
+#: stay < 1000 apart in practice, so strides of 1000 keep replicate
+#: populations disjoint (paper: 10 independent topologies per point).
+REPLICATE_SEED_STRIDE = 1000
+
+
+def replicate_seed(master_seed: int, replicate: int) -> int:
+    """The master seed of replicate ``replicate`` of a scenario.
+
+    This is the single source of truth used by both the serial
+    reference path (:func:`repro.experiments.runner.run_replicates`)
+    and the parallel campaign engine
+    (:mod:`repro.experiments.campaign`), so a parallel fan-out is
+    bit-identical to a serial run of the same spec.
+    """
+    if replicate < 0:
+        raise ValueError("replicate index must be non-negative")
+    return master_seed + REPLICATE_SEED_STRIDE * replicate

@@ -13,7 +13,6 @@ destination location" row).
 from __future__ import annotations
 
 import abc
-import random
 from dataclasses import dataclass, field
 from typing import Callable
 

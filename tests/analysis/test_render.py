@@ -43,5 +43,5 @@ class TestRenderSeries:
 
     def test_each_x_becomes_a_row(self):
         text = render_series("F", "x", [1, 2], {"s": ["a", "b"]})
-        lines = [l for l in text.splitlines() if l and l[0].isdigit()]
+        lines = [ln for ln in text.splitlines() if ln and ln[0].isdigit()]
         assert len(lines) == 2

@@ -51,6 +51,6 @@ class TestRenderTopology:
         g = unit_disk_graph(positions, 100.0)
         art = render_topology(g, width=40, height=12)
         lines = art.splitlines()
-        border_lines = [l for l in lines if l.startswith("+")]
+        border_lines = [ln for ln in lines if ln.startswith("+")]
         assert len(border_lines) == 2
-        assert all(len(l) == 42 for l in lines if l.startswith("|"))
+        assert all(len(ln) == 42 for ln in lines if ln.startswith("|"))

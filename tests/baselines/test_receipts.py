@@ -1,6 +1,5 @@
 """Tests for epidemic routing with delivery receipts."""
 
-import pytest
 
 from repro.baselines.receipts import (
     ReceiptEpidemicConfig,

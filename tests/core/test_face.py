@@ -1,6 +1,5 @@
 """Tests for face-routing hop selection."""
 
-import pytest
 
 from repro.core.face import first_face_hop, next_face_hop
 from repro.geometry.primitives import Point

@@ -1,0 +1,348 @@
+"""Tests for the campaign engine: specs, cache, parallel determinism."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.protocol import GLRConfig
+from repro.experiments.campaign import (
+    CACHE_FORMAT,
+    CampaignSpec,
+    ReplicateSpec,
+    ReplicateTask,
+    ResultCache,
+    execute_tasks,
+    run_campaign,
+    run_replicate_specs,
+    task_key,
+    task_payload,
+)
+from repro.experiments.runner import run_replicates
+from repro.experiments.scenarios import Scenario
+
+#: Small enough that a full grid with replicates finishes in seconds.
+TINY = Scenario(
+    name="tiny",
+    n_nodes=12,
+    active_nodes=6,
+    radius=150.0,
+    message_count=4,
+    sim_time=25.0,
+    seed=3,
+)
+
+
+def metrics_fingerprint(metrics):
+    """Everything observable about a run, for exact comparisons."""
+    return dataclasses.asdict(metrics)
+
+
+class TestTaskKey:
+    def test_stable_for_equal_tasks(self):
+        a = ReplicateTask(TINY, "glr", 0)
+        b = ReplicateTask(TINY.but(), "glr", 0)
+        assert task_key(a) == task_key(b)
+
+    def test_differs_by_seed_protocol_and_config(self):
+        base = ReplicateTask(TINY, "glr", 0)
+        assert task_key(base) != task_key(
+            ReplicateTask(TINY.with_seed(99), "glr", 0)
+        )
+        assert task_key(base) != task_key(ReplicateTask(TINY, "epidemic", 0))
+        assert task_key(base) != task_key(
+            ReplicateTask(TINY, "glr", 0, glr_config=GLRConfig(custody=False))
+        )
+        assert task_key(base) != task_key(
+            ReplicateTask(TINY, "glr", 0, buffer_limit=5)
+        )
+
+    def test_scenario_name_is_not_code_relevant(self):
+        renamed = ReplicateTask(TINY.but(name="other-name"), "glr", 0)
+        assert task_key(ReplicateTask(TINY, "glr", 0)) == task_key(renamed)
+        assert "name" not in task_payload(renamed)["scenario"]
+
+    def test_payload_is_json_round_trippable(self):
+        task = ReplicateTask(
+            TINY, "glr", 0, glr_config=GLRConfig(copies_override=3)
+        )
+        payload = task_payload(task)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["format"] == CACHE_FORMAT
+
+
+class TestReplicateSpec:
+    def test_tasks_use_replicate_seed_rule(self):
+        spec = ReplicateSpec(scenario=TINY, protocol="glr", runs=3)
+        seeds = [t.scenario.seed for t in spec.tasks()]
+        assert seeds == [TINY.seed, TINY.seed + 1000, TINY.seed + 2000]
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            ReplicateSpec(scenario=TINY, protocol="glr", runs=0)
+
+
+class TestCache:
+    def _one_task(self):
+        return ReplicateSpec(scenario=TINY, protocol="glr", runs=1).tasks()[0]
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._one_task()
+        [metrics] = execute_tasks([task], cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        loaded = cache.load(task)
+        assert loaded == metrics
+        assert cache.hits == 1
+
+    def test_cached_entry_is_actually_used(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._one_task()
+        execute_tasks([task], cache=cache)
+        # Tamper with a stored metric: if the second execution returns
+        # the sentinel, it came from the cache, not a re-simulation.
+        path = cache.path_for(task_key(task))
+        payload = json.loads(path.read_text())
+        payload["metrics"]["events_processed"] = 987654321
+        path.write_text(json.dumps(payload))
+        [resumed] = execute_tasks([task], cache=cache)
+        assert resumed.events_processed == 987654321
+
+    def test_corrupt_json_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._one_task()
+        [metrics] = execute_tasks([task], cache=cache)
+        path = cache.path_for(task_key(task))
+        path.write_text("{ not json !!!")
+        [recomputed] = execute_tasks([task], cache=cache)
+        assert recomputed == metrics
+        # ... and the corrupt entry was repaired in place.
+        assert cache.load(task) == metrics
+
+    def test_partial_entry_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._one_task()
+        [metrics] = execute_tasks([task], cache=cache)
+        path = cache.path_for(task_key(task))
+        payload = json.loads(path.read_text())
+        del payload["metrics"]["delivery_ratio"]
+        path.write_text(json.dumps(payload))
+        assert cache.load(task) is None
+        [recomputed] = execute_tasks([task], cache=cache)
+        assert recomputed == metrics
+
+    def test_extra_field_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._one_task()
+        execute_tasks([task], cache=cache)
+        path = cache.path_for(task_key(task))
+        payload = json.loads(path.read_text())
+        payload["metrics"]["bogus_field"] = 1
+        path.write_text(json.dumps(payload))
+        assert cache.load(task) is None
+
+    def test_format_version_mismatch_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._one_task()
+        execute_tasks([task], cache=cache)
+        path = cache.path_for(task_key(task))
+        payload = json.loads(path.read_text())
+        payload["format"] = CACHE_FORMAT + 1
+        path.write_text(json.dumps(payload))
+        assert cache.load(task) is None
+
+    def test_protocol_mismatch_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._one_task()
+        execute_tasks([task], cache=cache)
+        path = cache.path_for(task_key(task))
+        payload = json.loads(path.read_text())
+        payload["metrics"]["protocol"] = "epidemic"
+        path.write_text(json.dumps(payload))
+        assert cache.load(task) is None
+
+    def test_per_node_storage_keys_restored_as_ints(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._one_task()
+        [metrics] = execute_tasks([task], cache=cache)
+        loaded = cache.load(task)
+        assert loaded.per_node_peak_storage == metrics.per_node_peak_storage
+        assert all(
+            isinstance(k, int) for k in loaded.per_node_peak_storage
+        )
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_per_replicate(self):
+        """Core hazard check: workers=4 must be bit-identical to serial."""
+        spec = ReplicateSpec(scenario=TINY, protocol="glr", runs=4)
+        [serial] = run_replicate_specs([spec], workers=1)
+        [parallel] = run_replicate_specs([spec], workers=4)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert metrics_fingerprint(s) == metrics_fingerprint(p)
+
+    def test_engine_matches_run_replicates_reference(self):
+        """The serial reference path and the engine agree exactly."""
+        reference = run_replicates(TINY, "glr", runs=2)
+        spec = ReplicateSpec(scenario=TINY, protocol="glr", runs=2)
+        [engine] = run_replicate_specs([spec], workers=2)
+        for r, e in zip(reference, engine):
+            assert metrics_fingerprint(r) == metrics_fingerprint(e)
+
+    def test_run_replicates_workers_path_identical(self):
+        reference = run_replicates(TINY, "epidemic", runs=2)
+        parallel = run_replicates(TINY, "epidemic", runs=2, workers=2)
+        for r, p in zip(reference, parallel):
+            assert metrics_fingerprint(r) == metrics_fingerprint(p)
+
+    def test_run_replicates_cache_dir_path(self, tmp_path):
+        first = run_replicates(
+            TINY, "glr", runs=2, cache_dir=str(tmp_path)
+        )
+        second = run_replicates(
+            TINY, "glr", runs=2, cache_dir=str(tmp_path)
+        )
+        for a, b in zip(first, second):
+            assert metrics_fingerprint(a) == metrics_fingerprint(b)
+
+
+class TestExecuteTasks:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            execute_tasks([], workers=0)
+
+    def test_preserves_input_order(self):
+        specs = [
+            ReplicateSpec(scenario=TINY, protocol="glr", runs=2),
+            ReplicateSpec(
+                scenario=TINY.but(radius=100.0), protocol="epidemic", runs=2
+            ),
+        ]
+        tasks = [t for s in specs for t in s.tasks()]
+        results = execute_tasks(tasks, workers=4)
+        for task, metrics in zip(tasks, results):
+            assert metrics.protocol == task.protocol
+
+    def test_progress_reports_every_task(self, tmp_path):
+        spec = ReplicateSpec(scenario=TINY, protocol="glr", runs=3)
+        events = []
+        execute_tasks(
+            spec.tasks(),
+            cache=ResultCache(tmp_path),
+            progress=events.append,
+        )
+        assert [e.done for e in events] == [1, 2, 3]
+        assert all(e.total == 3 and not e.cached for e in events)
+        events.clear()
+        execute_tasks(
+            spec.tasks(),
+            cache=ResultCache(tmp_path),
+            progress=events.append,
+        )
+        assert all(e.cached for e in events)
+
+
+class TestCampaignSpec:
+    def _spec(self):
+        return CampaignSpec(
+            name="grid",
+            base=TINY,
+            grid=(("radius", (100.0, 150.0)), ("message_count", (2, 4))),
+            protocols=("glr", "epidemic"),
+            replicates=2,
+        )
+
+    def test_grid_expansion(self):
+        spec = self._spec()
+        scenarios = spec.scenarios()
+        assert len(scenarios) == 4
+        assert scenarios[0].name == "grid/radius=100.0,message_count=2"
+        assert spec.total_tasks() == 4 * 2 * 2
+
+    def test_empty_grid_is_single_scenario(self):
+        spec = CampaignSpec(name="solo", base=TINY)
+        assert [s.name for s in spec.scenarios()] == ["solo"]
+
+    def test_rejects_unknown_protocol_and_field(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", base=TINY, protocols=("warp",))
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", base=TINY, grid=(("warp_factor", (1,)),))
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", base=TINY, replicates=0)
+
+    def test_rejects_duplicate_grid_values(self):
+        # Duplicate values would expand to identically named cells that
+        # silently overwrite each other in the campaign result map.
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(
+                name="x", base=TINY, grid=(("radius", (100.0, 100.0)),)
+            )
+
+    def test_dict_round_trip(self):
+        spec = self._spec()
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+
+    def test_from_dict_region_pair(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "doc",
+                "base": {"region": [800, 200], "n_nodes": 10,
+                         "active_nodes": 5},
+                "grid": {"radius": [50.0, 100.0]},
+                "protocols": ["glr"],
+                "replicates": 2,
+            }
+        )
+        assert spec.base.region.width == 800.0
+        assert len(spec.scenarios()) == 2
+
+    def test_from_dict_rejects_unknown_base_field(self):
+        with pytest.raises(ValueError):
+            CampaignSpec.from_dict({"name": "x", "base": {"warp": 9}})
+
+
+class TestRunCampaign:
+    def test_end_to_end_with_cache_resume(self, tmp_path):
+        spec = CampaignSpec(
+            name="e2e",
+            base=TINY,
+            grid=(("radius", (100.0, 150.0)),),
+            protocols=("glr", "epidemic"),
+            replicates=3,
+        )
+        first = run_campaign(spec, workers=2, cache_dir=tmp_path)
+        assert first.cache_misses == spec.total_tasks() == 12
+        assert first.cache_hits == 0
+        assert set(first.metrics) == {
+            (scenario.name, protocol)
+            for scenario in spec.scenarios()
+            for protocol in spec.protocols
+        }
+
+        resumed = run_campaign(spec, workers=2, cache_dir=tmp_path)
+        assert resumed.cache_hits == 12
+        assert resumed.cache_misses == 0
+        for cell, runs in first.metrics.items():
+            for a, b in zip(runs, resumed.metrics[cell]):
+                assert metrics_fingerprint(a) == metrics_fingerprint(b)
+        assert "100.0% hit rate" in resumed.cache_line()
+
+    def test_summaries_and_render(self, tmp_path):
+        spec = CampaignSpec(name="render", base=TINY, replicates=2)
+        result = run_campaign(spec, cache_dir=tmp_path)
+        summaries = result.summaries()
+        assert ("render", "glr") in summaries
+        assert summaries[("render", "glr")].runs == 2
+        text = result.render()
+        assert "render" in text and "glr" in text
+        assert "cache:" in result.cache_line()
+
+    def test_cache_line_disabled_without_cache_dir(self):
+        spec = CampaignSpec(name="nocache", base=TINY, replicates=1)
+        result = run_campaign(spec)
+        assert result.cache_line() == "cache: disabled"

@@ -1,8 +1,30 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EFFORTS, EXPERIMENTS, main
+
+#: Flags for a campaign small enough that tests finish in seconds:
+#: 2 scenarios x 2 protocols x 2 replicates = 8 simulations.
+TINY_CAMPAIGN = [
+    "campaign",
+    "--name",
+    "cli-tiny",
+    "--radii",
+    "100,150",
+    "--node-counts",
+    "12",
+    "--protocols",
+    "glr,epidemic",
+    "--replicates",
+    "2",
+    "--messages",
+    "3",
+    "--sim-time",
+    "20",
+]
 
 
 class TestList:
@@ -84,3 +106,101 @@ class TestExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+    def test_workers_flag_threads_through(self, capsys, tmp_path):
+        code = main(
+            [
+                "experiment",
+                "table3",
+                "--effort",
+                "bench",
+                "--workers",
+                "2",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "custody" in out
+
+
+class TestCampaign:
+    def test_campaign_runs_and_reports_cells(self, capsys):
+        assert main(TINY_CAMPAIGN + ["--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "8 simulations" in out
+        assert "cli-tiny/radius=100.0" in out
+        assert "cache: disabled" in out
+
+    def test_campaign_resumes_from_cache(self, capsys, tmp_path):
+        args = TINY_CAMPAIGN + [
+            "--workers",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "8 misses" in first
+        assert "(ran)" in first
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache: 8 hits, 0 misses (100.0% hit rate)" in second
+        assert "(cache)" in second and "(ran)" not in second
+
+        # The summary tables (everything after the progress log) match:
+        # cached metrics are identical to the freshly simulated ones.
+        def summary(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "|" in line
+            ]
+
+        assert summary(first) == summary(second)
+
+    def test_csv_flags_tolerate_spaces(self, capsys):
+        args = list(TINY_CAMPAIGN)
+        args[args.index("glr,epidemic")] = "glr, epidemic"
+        args[args.index("100,150")] = "100, 150"
+        assert main(args + ["--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "8 simulations" in out
+
+    def test_bad_inputs_exit_2_with_clean_error(self, capsys):
+        assert main(["campaign", "--protocols", "warp_drive"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+        assert main(["campaign", "--radii", "100,100"]) == 2
+        assert "duplicate" in capsys.readouterr().err
+        assert main(["campaign", "--node-counts", ","]) == 2
+        assert "--node-counts" in capsys.readouterr().err
+        assert main(["campaign", "--spec", "/nonexistent.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_from_json_spec(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "json-spec",
+                    "base": {
+                        "n_nodes": 12,
+                        "active_nodes": 6,
+                        "message_count": 3,
+                        "sim_time": 20.0,
+                    },
+                    "grid": {"radius": [100.0, 150.0]},
+                    "protocols": ["glr"],
+                    "replicates": 2,
+                }
+            )
+        )
+        code = main(
+            ["campaign", "--spec", str(spec_path), "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "json-spec/radius=100.0" in out
+        assert "4 simulations" in out

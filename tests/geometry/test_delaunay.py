@@ -6,7 +6,6 @@ an independent oracle, and (c) Euler-formula bookkeeping.
 """
 
 import math
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """Tests for repro.geometry.hull."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

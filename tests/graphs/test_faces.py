@@ -1,6 +1,5 @@
 """Tests for planar face traversal (face-routing machinery)."""
 
-import pytest
 
 from repro.geometry.primitives import Point
 from repro.graphs.faces import (

@@ -1,6 +1,13 @@
 """Tests for deterministic RNG derivation."""
 
-from repro.seeding import derive_rng, derive_seed
+import pytest
+
+from repro.seeding import (
+    REPLICATE_SEED_STRIDE,
+    derive_rng,
+    derive_seed,
+    replicate_seed,
+)
 
 
 class TestDeriveSeed:
@@ -43,3 +50,17 @@ class TestDeriveRng:
         a.random()
         # Consuming from a must not advance b.
         assert b.random() == derive_rng(7, "x").random()
+
+
+class TestReplicateSeed:
+    def test_first_replicate_is_master_seed(self):
+        assert replicate_seed(42, 0) == 42
+
+    def test_strided_and_disjoint(self):
+        seeds = [replicate_seed(1, i) for i in range(10)]
+        assert seeds == [1 + REPLICATE_SEED_STRIDE * i for i in range(10)]
+        assert len(set(seeds)) == 10
+
+    def test_rejects_negative_replicate(self):
+        with pytest.raises(ValueError):
+            replicate_seed(1, -1)
