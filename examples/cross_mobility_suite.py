@@ -1,0 +1,75 @@
+"""Cross-mobility suite: compare protocols across movement patterns.
+
+The paper's Table 1 fixes the motion model to random waypoint, yet DTN
+protocol rankings are notoriously mobility-sensitive: group mobility
+concentrates contacts inside clusters, street grids funnel encounters
+onto shared lanes, and Gauss-Markov removes RWP's sharp turns and
+centre bias.  This script runs the ``cross-mobility`` suite at a
+reduced effort — every protocol under every registered movement
+pattern — and prints one delivery/latency/storage row per cell, so the
+ranking flips are visible in a minute of wall-clock.
+
+Run:
+    python examples/cross_mobility_suite.py
+"""
+
+import dataclasses
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.common import Effort
+from repro.experiments.suites import build_suite
+
+#: Keep the demo fast: one replicate of short, light scenarios.
+DEMO_EFFORT = Effort(runs=1, sim_time=120.0, message_count=20)
+
+
+def main() -> None:
+    spec = build_suite(
+        "cross-mobility",
+        seed=11,
+        replicates=1,
+        effort=DEMO_EFFORT,
+        base_overrides={"n_nodes": 30, "active_nodes": 15},
+    )
+    # Trim the protocol set so the grid stays 4 x 2.
+    spec = dataclasses.replace(spec, protocols=("glr", "epidemic"))
+
+    print(
+        f"suite {spec.name}: {len(spec.scenarios())} movement patterns x "
+        f"{len(spec.protocols)} protocols ({spec.total_tasks()} simulations)"
+    )
+    print()
+
+    result = run_campaign(spec)
+
+    header = (
+        f"{'mobility':>16} {'protocol':>9} {'ratio':>6} "
+        f"{'latency_s':>9} {'avg_peak_storage':>16}"
+    )
+    print(header)
+    print("-" * len(header))
+    for (scenario_name, protocol), runs in result.metrics.items():
+        mobility = scenario_name.split("mobility=")[-1]
+        metrics = runs[0]
+        latency = (
+            f"{metrics.average_latency:.1f}"
+            if metrics.average_latency is not None
+            else "n/a"
+        )
+        print(
+            f"{mobility:>16} {protocol:>9} {metrics.delivery_ratio:>6.2f} "
+            f"{latency:>9} {metrics.average_peak_storage:>16.1f}"
+        )
+
+    print()
+    print(
+        "Expected shape: epidemic buys its delivery with 3-4x the"
+        " storage under every motion pattern; clustered rpgm motion is"
+        " the easiest regime for both, while the manhattan street grid"
+        " hurts GLR's geometric greedy forwarding the most — exactly"
+        " the mobility sensitivity the suite exists to expose."
+    )
+
+
+if __name__ == "__main__":
+    main()

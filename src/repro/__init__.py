@@ -47,9 +47,14 @@ from repro.graphs import (
     unit_disk_graph,
 )
 from repro.mobility import (
+    GaussMarkovMobility,
+    ManhattanGridMobility,
+    MobilityConfig,
     RandomWaypointMobility,
+    ReferencePointGroupMobility,
     Region,
     StaticMobility,
+    build_mobility,
 )
 from repro.sim import (
     Message,
@@ -69,12 +74,16 @@ __all__ = [
     "FirstContactProtocol",
     "GLRConfig",
     "GLRProtocol",
+    "GaussMarkovMobility",
     "LocationMode",
+    "ManhattanGridMobility",
     "Message",
+    "MobilityConfig",
     "PAPER_TABLE1",
     "Point",
     "RadioConfig",
     "RandomWaypointMobility",
+    "ReferencePointGroupMobility",
     "Region",
     "Scenario",
     "SimulationMetrics",
@@ -85,6 +94,7 @@ __all__ = [
     "StaticMobility",
     "World",
     "WorldConfig",
+    "build_mobility",
     "build_world",
     "decide_copies",
     "delaunay_triangulation",

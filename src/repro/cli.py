@@ -15,13 +15,18 @@ Examples::
 
     repro run --protocol glr --radius 100 --messages 200 --sim-time 600
     repro experiment fig4 --effort bench --workers 4
+    repro experiment fig6 --mobility gauss-markov
     repro campaign --radii 50,100 --protocols glr,epidemic \\
         --replicates 3 --workers 4 --cache-dir .campaign-cache
+    repro campaign --mobility rwp,gauss-markov,rpgm,manhattan \\
+        --protocols glr,epidemic --workers 4
+    repro campaign --suite cross-mobility --effort bench --workers 8
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -41,10 +46,22 @@ from repro.experiments.common import (
 )
 from repro.experiments.runner import available_protocols, run_single
 from repro.experiments.scenarios import Scenario
+from repro.experiments.suites import (
+    available_suites,
+    build_suite,
+    suite_description,
+)
+from repro.mobility.registry import available_models
 
-def _fig1_driver(effort: Effort, seed: int, workers: int = 1, cache_dir=None):
+
+def _fig1_driver(
+    effort: Effort, seed: int, workers: int = 1, cache_dir=None, mobility=None
+):
     # Figure 1 is a static-topology experiment; effort maps to run count
-    # and there is nothing to parallelise or cache.
+    # and there is nothing to parallelise, cache, or move.
+    if mobility is not None:
+        raise ValueError("fig1 is a static-topology experiment; --mobility "
+                         "does not apply")
     return figures.fig1_topology(runs=effort.runs * 5, seed=seed)
 
 
@@ -106,6 +123,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="on-disk result cache; reruns skip finished simulations",
     )
+    exp_p.add_argument(
+        "--mobility",
+        default=None,
+        help="run the experiment under a registry mobility model "
+        "(e.g. gauss-markov, rpgm, manhattan) instead of the paper's RWP",
+    )
 
     camp_p = sub.add_parser(
         "campaign",
@@ -114,15 +137,35 @@ def _build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument(
         "--spec",
         default=None,
-        help="JSON campaign spec file (overrides the grid flags)",
+        help="JSON campaign spec file (grid/shape flags conflict with it; "
+        "--seed/--replicates override its values)",
     )
-    camp_p.add_argument("--name", default="campaign")
+    camp_p.add_argument(
+        "--suite",
+        default=None,
+        choices=available_suites(),
+        help="run a named cross-mobility suite (--effort scales it; "
+        "grid/shape flags conflict with it)",
+    )
+    camp_p.add_argument(
+        "--effort",
+        default=None,
+        choices=sorted(EFFORTS),
+        help="simulation effort for --suite campaigns (default: bench; "
+        "grid campaigns take --messages/--sim-time instead)",
+    )
+    camp_p.add_argument("--name", default=None)
     camp_p.add_argument(
         "--protocols",
-        default="glr",
-        help="comma-separated protocol list",
+        default=None,
+        help="comma-separated protocol list (default: glr)",
     )
-    camp_p.add_argument("--replicates", type=int, default=3)
+    camp_p.add_argument(
+        "--replicates",
+        type=int,
+        default=None,
+        help="replicates per cell (default: 3; overrides a --spec file)",
+    )
     camp_p.add_argument(
         "--radii",
         default=None,
@@ -133,10 +176,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated node-count grid",
     )
+    camp_p.add_argument(
+        "--mobility",
+        default=None,
+        help="comma-separated mobility-model grid "
+        f"(registry models: {','.join(available_models())})",
+    )
     camp_p.add_argument("--messages", type=int, default=None)
     camp_p.add_argument("--sim-time", type=float, default=None)
     camp_p.add_argument("--storage-limit", type=int, default=None)
-    camp_p.add_argument("--seed", type=int, default=1)
+    camp_p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base scenario seed (default: 1; overrides a --spec file)",
+    )
     camp_p.add_argument("--workers", type=int, default=1)
     camp_p.add_argument("--cache-dir", default=None)
     camp_p.add_argument(
@@ -193,6 +247,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        mobility=args.mobility,
     )
     print(result.render())
     return 0
@@ -204,12 +259,79 @@ def _csv(text: str, convert: Callable) -> tuple:
     )
 
 
+def _reject_conflicting_shape_flags(
+    args: argparse.Namespace, source: str, composing: str
+) -> None:
+    """Error out when grid/shape flags are combined with --spec/--suite.
+
+    Both alternatives fix the campaign shape themselves; silently
+    ignoring explicit flags would run simulations the user did not ask
+    for.
+    """
+    conflicting = [
+        flag
+        for flag, value in (
+            ("--name", args.name),
+            ("--protocols", args.protocols),
+            ("--radii", args.radii),
+            ("--node-counts", args.node_counts),
+            ("--mobility", args.mobility),
+            ("--messages", args.messages),
+            ("--sim-time", args.sim_time),
+            ("--storage-limit", args.storage_limit),
+        )
+        if value is not None
+    ]
+    if conflicting:
+        raise ValueError(
+            f"{source} defines the campaign shape; drop {conflicting} "
+            f"(only {composing} compose with it)"
+        )
+
+
 def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec is not None and args.suite is not None:
+        raise ValueError("--spec and --suite both define the campaign; "
+                         "pass one or the other")
     if args.spec is not None:
-        return CampaignSpec.from_dict(
+        if args.effort is not None:
+            raise ValueError(
+                "--effort only applies to --suite campaigns; a JSON spec "
+                "sets sim_time/message_count in its base"
+            )
+        _reject_conflicting_shape_flags(
+            args, "--spec", "--seed/--replicates/--workers/--cache-dir"
+        )
+        spec = CampaignSpec.from_dict(
             json.loads(Path(args.spec).read_text(encoding="utf-8"))
         )
-    overrides: dict = {"seed": args.seed}
+        if args.replicates is not None:
+            spec = dataclasses.replace(spec, replicates=args.replicates)
+        if args.seed is not None:
+            spec = dataclasses.replace(
+                spec, base=spec.base.with_seed(args.seed)
+            )
+        return spec
+    seed = args.seed if args.seed is not None else 1
+    replicates = args.replicates if args.replicates is not None else 3
+    if args.suite is not None:
+        _reject_conflicting_shape_flags(
+            args, "--suite", "--seed/--replicates/--effort/--workers/--cache-dir"
+        )
+        return build_suite(
+            args.suite,
+            seed=seed,
+            replicates=replicates,
+            effort=EFFORTS[args.effort if args.effort is not None else "bench"],
+        )
+    if args.effort is not None:
+        raise ValueError(
+            "--effort only applies to --suite campaigns; grid campaigns "
+            "take --messages/--sim-time directly"
+        )
+    name = args.name if args.name is not None else "campaign"
+    protocols = _csv(args.protocols, str) if args.protocols else ("glr",)
+    overrides: dict = {"seed": seed}
     if args.messages is not None:
         overrides["message_count"] = args.messages
     if args.sim_time is not None:
@@ -224,21 +346,24 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         grid.append(("n_nodes", counts))
         # Keep the active source/destination set valid across the grid.
         overrides["active_nodes"] = min(45, min(counts))
+    if args.mobility:
+        grid.append(("mobility", _csv(args.mobility, str)))
     return CampaignSpec(
-        name=args.name,
-        base=Scenario(name=args.name, **overrides),
+        name=name,
+        base=Scenario(name=name, **overrides),
         grid=tuple(grid),
-        protocols=_csv(args.protocols, str),
-        replicates=args.replicates,
+        protocols=protocols,
+        replicates=replicates,
         buffer_limit=args.storage_limit,
     )
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     spec = _campaign_spec_from_args(args)
-    total = spec.total_tasks()
+    n_scenarios = len(spec.scenarios())
+    total = n_scenarios * len(spec.protocols) * spec.replicates
     print(
-        f"campaign {spec.name}: {len(spec.scenarios())} scenarios x "
+        f"campaign {spec.name}: {n_scenarios} scenarios x "
         f"{len(spec.protocols)} protocols x {spec.replicates} replicates "
         f"= {total} simulations ({args.workers} workers)"
     )
@@ -269,6 +394,12 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("protocols:")
     for name in available_protocols():
         print(f"  {name}")
+    print("mobility models:")
+    for name in available_models():
+        print(f"  {name}")
+    print("suites:")
+    for name in available_suites():
+        print(f"  {name}: {suite_description(name)}")
     print("efforts:")
     for name, effort in EFFORTS.items():
         print(

@@ -20,6 +20,11 @@ from repro.experiments.runner import (
     run_single,
 )
 from repro.experiments.scenarios import PAPER_TABLE1, Scenario
+from repro.experiments.suites import (
+    available_suites,
+    build_suite,
+    suite_description,
+)
 from repro.experiments.workload import WorkloadSpec, generate_workload
 
 __all__ = [
@@ -32,10 +37,13 @@ __all__ = [
     "Scenario",
     "WorkloadSpec",
     "available_protocols",
+    "available_suites",
+    "build_suite",
     "build_world",
     "generate_workload",
     "run_campaign",
     "run_replicate_specs",
     "run_replicates",
     "run_single",
+    "suite_description",
 ]

@@ -21,6 +21,7 @@ from repro.experiments.campaign import ReplicateSpec, run_replicate_specs
 from repro.experiments.common import BENCH_EFFORT, Effort, ci_of, fmt_ci
 from repro.experiments.scenarios import Scenario
 from repro.experiments.tables import TableResult
+from repro.mobility.registry import MobilityConfig
 
 
 def ablation_copies(
@@ -30,6 +31,7 @@ def ablation_copies(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """Fixed copy counts vs the Algorithm 1 adaptive decision."""
     result = TableResult(
@@ -50,6 +52,7 @@ def ablation_copies(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol="glr",
             runs=effort.runs,
@@ -76,6 +79,7 @@ def ablation_spanner(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """LDTG routing graph vs raw unit-disk neighbours."""
     result = TableResult(
@@ -93,6 +97,7 @@ def ablation_spanner(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol="glr",
             runs=effort.runs,
@@ -119,6 +124,7 @@ def ablation_face_routing(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """Face-routing recovery on vs off."""
     result = TableResult(
@@ -136,6 +142,7 @@ def ablation_face_routing(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol="glr",
             runs=effort.runs,
@@ -163,6 +170,7 @@ def ablation_custody_timeout(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """Sensitivity of delivery to the custody retransmit timeout."""
     result = TableResult(
@@ -179,6 +187,7 @@ def ablation_custody_timeout(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol="glr",
             runs=effort.runs,
@@ -204,6 +213,7 @@ def ablation_protocols(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """All implemented protocols side by side in one scenario."""
     result = TableResult(
@@ -233,6 +243,7 @@ def ablation_protocols(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol=protocol,
             runs=effort.runs,

@@ -45,12 +45,15 @@ from repro.core.protocol import GLRConfig
 from repro.experiments.common import ci_of, fmt_ci
 from repro.experiments.runner import available_protocols, run_single
 from repro.experiments.scenarios import Scenario
+from repro.mobility.registry import MobilityConfig, as_mobility_config
 from repro.seeding import replicate_seed
 from repro.sim.stats import SimulationMetrics
 
 #: Bump whenever simulation semantics change in a way that invalidates
 #: previously cached metrics (it is part of every cache key).
-CACHE_FORMAT = 1
+#: 2: Scenario grew the ``mobility`` field (cache keys now cover the
+#:    movement model configuration).
+CACHE_FORMAT = 2
 
 
 # ---------------------------------------------------------------------------
@@ -378,6 +381,11 @@ class CampaignSpec:
     the campaign runs the cartesian product of all value axes, each
     combination under every protocol, ``replicates`` times.  Grid
     scenarios are named ``<name>/<field>=<value>,...`` for reporting.
+
+    A ``mobility`` axis sweeps movement models: its values may be model
+    names (``"gauss-markov"``), mappings, or
+    :class:`~repro.mobility.registry.MobilityConfig` objects — all are
+    coerced on construction so the cache keys on the resolved config.
     """
 
     name: str
@@ -398,6 +406,19 @@ class CampaignSpec:
                 raise ValueError(
                     f"unknown protocol {protocol!r}; choose from {known}"
                 )
+        if any(fname == "mobility" for fname, _ in self.grid):
+            # Coerce before validation so name strings / mappings
+            # dedupe against equivalent MobilityConfig values.
+            object.__setattr__(
+                self,
+                "grid",
+                tuple(
+                    (fname, tuple(as_mobility_config(v) for v in values))
+                    if fname == "mobility"
+                    else (fname, values)
+                    for fname, values in self.grid
+                ),
+            )
         for fname, values in self.grid:
             if fname == "name" or fname not in _SCENARIO_FIELDS:
                 raise ValueError(f"unknown scenario grid field {fname!r}")
@@ -445,10 +466,19 @@ class CampaignSpec:
         base = dataclasses.asdict(self.base)
         region = base.pop("region")
         base["region"] = [region["width"], region["height"]]
+        base.pop("mobility")
+        if self.base.mobility is not None:
+            base["mobility"] = self.base.mobility.to_json()
         return {
             "name": self.name,
             "base": base,
-            "grid": {fname: list(values) for fname, values in self.grid},
+            "grid": {
+                fname: [
+                    v.to_json() if isinstance(v, MobilityConfig) else v
+                    for v in values
+                ]
+                for fname, values in self.grid
+            },
             "protocols": list(self.protocols),
             "replicates": self.replicates,
             "buffer_limit": self.buffer_limit,
@@ -459,8 +489,10 @@ class CampaignSpec:
         """Build a spec from a JSON document.
 
         ``base`` holds :class:`Scenario` field overrides (``region`` as
-        a ``[width, height]`` pair); ``grid`` maps scenario fields to
-        value lists.
+        a ``[width, height]`` pair, ``mobility`` as a model name or
+        ``{"model": ..., "params": {...}}`` mapping); ``grid`` maps
+        scenario fields to value lists — a ``mobility`` axis takes the
+        same name/mapping forms.
         """
         from repro.mobility.base import Region
 

@@ -26,6 +26,7 @@ from repro.graphs.connectivity import (
 )
 from repro.graphs.udg import unit_disk_graph
 from repro.mobility.base import Region
+from repro.mobility.registry import MobilityConfig
 from repro.mobility.static import uniform_random_positions
 
 
@@ -123,6 +124,7 @@ def fig3_check_interval(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> SeriesResult:
     """Figure 3: GLR delivery latency under different check intervals.
 
@@ -145,6 +147,7 @@ def fig3_check_interval(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol="glr",
             runs=effort.runs,
@@ -177,6 +180,7 @@ def _latency_vs_load(
     seed: int,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> SeriesResult:
     result = SeriesResult(
         experiment=experiment,
@@ -194,6 +198,7 @@ def _latency_vs_load(
             message_count=load,
             sim_time=sim_time,
             seed=seed,
+            mobility=mobility,
         )
         for protocol in ("glr", "epidemic"):
             specs.append(
@@ -221,10 +226,11 @@ def fig4_latency_vs_load(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> SeriesResult:
     """Figure 4: latency vs number of messages, 50 m radius."""
     return _latency_vs_load(
-        "fig4", 50.0, loads, effort, seed, workers, cache_dir
+        "fig4", 50.0, loads, effort, seed, workers, cache_dir, mobility
     )
 
 
@@ -234,10 +240,11 @@ def fig5_latency_vs_load(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> SeriesResult:
     """Figure 5: latency vs number of messages, 100 m radius."""
     return _latency_vs_load(
-        "fig5", 100.0, loads, effort, seed, workers, cache_dir
+        "fig5", 100.0, loads, effort, seed, workers, cache_dir, mobility
     )
 
 
@@ -251,6 +258,7 @@ def fig6_latency_vs_radius(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> SeriesResult:
     """Figure 6: latency vs transmission radius, fixed message count.
 
@@ -271,6 +279,7 @@ def fig6_latency_vs_radius(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol=protocol,
             runs=effort.runs,
@@ -303,6 +312,7 @@ def fig7_delivery_vs_storage(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> SeriesResult:
     """Figure 7: delivery ratio under per-node storage limits (50 m).
 
@@ -324,6 +334,7 @@ def fig7_delivery_vs_storage(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol=protocol,
             runs=effort.runs,

@@ -7,6 +7,7 @@ goes through the same code path.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 from repro.baselines.direct import DirectDeliveryProtocol
@@ -19,7 +20,9 @@ from repro.baselines.spray_and_wait import (
 from repro.core.protocol import GLRConfig, GLRProtocol
 from repro.experiments.scenarios import Scenario
 from repro.experiments.workload import generate_workload
+from repro.mobility.base import MobilityModel
 from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.registry import build_mobility
 from repro.seeding import replicate_seed
 from repro.sim.mac import MacConfig
 from repro.sim.radio import RadioConfig
@@ -49,16 +52,12 @@ def _protocol_factory(
     if protocol == "glr":
         config = glr_config if glr_config is not None else GLRConfig()
         if buffer_limit is not None and config.storage_limit is None:
-            config = GLRConfig(
-                **{**config.__dict__, "storage_limit": buffer_limit}
-            )
+            config = dataclasses.replace(config, storage_limit=buffer_limit)
         return lambda node: GLRProtocol(config)
     if protocol == "epidemic":
         config = epidemic_config if epidemic_config is not None else EpidemicConfig()
         if buffer_limit is not None and config.buffer_limit is None:
-            config = EpidemicConfig(
-                **{**config.__dict__, "buffer_limit": buffer_limit}
-            )
+            config = dataclasses.replace(config, buffer_limit=buffer_limit)
         return lambda node: EpidemicProtocol(config)
     if protocol == "epidemic_receipts":
         from repro.baselines.receipts import (
@@ -77,12 +76,35 @@ def _protocol_factory(
     if protocol == "spray_and_wait":
         config = spray_config if spray_config is not None else SprayAndWaitConfig()
         if buffer_limit is not None and config.buffer_limit is None:
-            config = SprayAndWaitConfig(
-                **{**config.__dict__, "buffer_limit": buffer_limit}
-            )
+            config = dataclasses.replace(config, buffer_limit=buffer_limit)
         return lambda node: SprayAndWaitProtocol(config)
     raise ValueError(
         f"unknown protocol {protocol!r}; choose from {available_protocols()}"
+    )
+
+
+def _build_scenario_mobility(
+    scenario: Scenario, node_ids: list
+) -> MobilityModel:
+    """The movement model a scenario describes.
+
+    ``scenario.mobility is None`` is the paper's reference path: a
+    random waypoint model driven by the scenario's speed/pause fields,
+    constructed exactly as before the registry existed so default
+    scenarios reproduce seed metrics byte-for-byte.  Any other value is
+    resolved through :func:`repro.mobility.registry.build_mobility`.
+    """
+    if scenario.mobility is None:
+        return RandomWaypointMobility(
+            node_ids=node_ids,
+            region=scenario.region,
+            seed=scenario.seed,
+            min_speed=scenario.min_speed,
+            max_speed=scenario.max_speed,
+            pause_time=scenario.pause_time,
+        )
+    return build_mobility(
+        scenario.mobility, node_ids, scenario.region, scenario.seed
     )
 
 
@@ -96,14 +118,7 @@ def build_world(
 ) -> World:
     """Assemble a world for ``scenario`` running ``protocol`` everywhere."""
     node_ids = list(range(scenario.n_nodes))
-    mobility = RandomWaypointMobility(
-        node_ids=node_ids,
-        region=scenario.region,
-        seed=scenario.seed,
-        min_speed=scenario.min_speed,
-        max_speed=scenario.max_speed,
-        pause_time=scenario.pause_time,
-    )
+    mobility = _build_scenario_mobility(scenario, node_ids)
     world_config = WorldConfig(
         radio=RadioConfig(
             range_m=scenario.radius, data_rate_bps=scenario.data_rate_bps

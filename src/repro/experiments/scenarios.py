@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.mobility.base import Region
+from repro.mobility.registry import MobilityConfig, as_mobility_config
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,12 @@ class Scenario:
         queue_limit: link-layer queue length (150).
         data_rate_bps: link rate (1 Mbps).
         seed: master seed for this scenario instance.
+        mobility: declarative movement pattern
+            (:class:`~repro.mobility.registry.MobilityConfig`; strings
+            and mappings are coerced).  ``None`` — the default — means
+            the paper's random waypoint driven by ``min_speed`` /
+            ``max_speed`` / ``pause_time`` above, byte-identical to the
+            pre-registry behaviour.
     """
 
     name: str = "paper-default"
@@ -54,18 +61,48 @@ class Scenario:
     queue_limit: int = 150
     data_rate_bps: float = 1_000_000.0
     seed: int = 1
+    mobility: MobilityConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ValueError("need at least two nodes")
         if self.radius <= 0:
             raise ValueError("radius must be positive")
+        if self.max_speed <= 0:
+            raise ValueError("max speed must be positive")
+        if self.min_speed < 0 or self.min_speed > self.max_speed:
+            raise ValueError("need 0 <= min_speed <= max_speed")
         if self.message_count < 0:
             raise ValueError("message count must be non-negative")
         if not 2 <= self.active_nodes <= self.n_nodes:
             raise ValueError("active_nodes must be in [2, n_nodes]")
         if self.sim_time <= 0:
             raise ValueError("sim time must be positive")
+        if self.beacon_interval <= 0:
+            raise ValueError("beacon interval must be positive")
+        if self.queue_limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        # Coerce strings / mappings ("gauss-markov", {"model": ...}) so
+        # sweep grids and JSON specs can name models directly.
+        object.__setattr__(self, "mobility", as_mobility_config(self.mobility))
+        fields = type(self).__dataclass_fields__
+        motion_defaults = tuple(
+            fields[name].default
+            for name in ("min_speed", "max_speed", "pause_time")
+        )
+        if self.mobility is not None and (
+            (self.min_speed, self.max_speed, self.pause_time)
+            != motion_defaults
+        ):
+            # The scenario motion fields only drive the default RWP
+            # path; a registry model takes speeds from its own params.
+            # Rejecting the combination prevents sweeps that *look*
+            # like speed sensitivity grids but simulate identically.
+            raise ValueError(
+                "min_speed/max_speed/pause_time only apply to the "
+                "default random waypoint path; pass them as parameters "
+                f"of the mobility config instead ({self.mobility})"
+            )
 
     def but(self, **changes) -> "Scenario":
         """A copy of this scenario with the given fields replaced."""

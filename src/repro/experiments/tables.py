@@ -17,6 +17,7 @@ from repro.core.protocol import GLRConfig
 from repro.experiments.campaign import ReplicateSpec, run_replicate_specs
 from repro.experiments.common import BENCH_EFFORT, Effort, ci_of, fmt_ci
 from repro.experiments.scenarios import Scenario
+from repro.mobility.registry import MobilityConfig
 
 
 @dataclass
@@ -45,6 +46,7 @@ def table2_location(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """Table 2: delivery under four destination-knowledge situations.
 
@@ -85,6 +87,7 @@ def table2_location(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol="glr",
             runs=effort.runs,
@@ -117,6 +120,7 @@ def table3_custody(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """Table 3: delivery ratio with vs without custody transfer (50 m).
 
@@ -139,6 +143,7 @@ def table3_custody(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol="glr",
             runs=effort.runs,
@@ -169,6 +174,7 @@ def table4_storage_vs_load(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """Table 4: GLR peak storage vs number of messages (50 m, 3 copies).
 
@@ -189,6 +195,7 @@ def table4_storage_vs_load(
                 message_count=load,
                 sim_time=max(effort.sim_time, 1.5 * load),
                 seed=seed,
+                mobility=mobility,
             ),
             protocol="glr",
             runs=effort.runs,
@@ -218,6 +225,7 @@ def table5_storage_vs_radius(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """Table 5: GLR peak storage vs radius (paper: 1980 messages).
 
@@ -239,6 +247,7 @@ def table5_storage_vs_radius(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol="glr",
             runs=effort.runs,
@@ -267,6 +276,7 @@ def table6_hops(
     seed: int = 1,
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    mobility: MobilityConfig | str | None = None,
 ) -> TableResult:
     """Table 6: average hop count, GLR vs epidemic, across radii.
 
@@ -288,6 +298,7 @@ def table6_hops(
                 message_count=effort.message_count,
                 sim_time=effort.sim_time,
                 seed=seed,
+                mobility=mobility,
             ),
             protocol=protocol,
             runs=effort.runs,

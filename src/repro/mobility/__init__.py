@@ -1,4 +1,4 @@
-"""Mobility models and movement traces.
+"""Mobility models, movement traces, and the mobility registry.
 
 The paper's scenarios use the random waypoint model (uniform 0–20 m/s,
 pause time 0 s) inside a rectangular region.  Models here expose a
@@ -7,27 +7,61 @@ compute trajectories analytically, so the simulator can ask for any
 node's position at any instant without stepping a clock.
 
 - :mod:`repro.mobility.base` — interface and shared helpers.
+- :mod:`repro.mobility.legs` — the analytic piecewise-linear machinery.
 - :mod:`repro.mobility.static` — fixed placements (Figure 1 topologies).
 - :mod:`repro.mobility.random_waypoint` — the paper's motion pattern.
 - :mod:`repro.mobility.random_walk` — bounded random walk (extension).
+- :mod:`repro.mobility.gauss_markov` — smooth motion, tunable memory.
+- :mod:`repro.mobility.rpgm` — reference point group mobility (convoys).
+- :mod:`repro.mobility.manhattan` — street-grid constrained motion.
 - :mod:`repro.mobility.traces` — ns-2 ``setdest`` import/export and
   trace-driven replay.
+- :mod:`repro.mobility.registry` — string-keyed model registry and the
+  declarative :class:`~repro.mobility.registry.MobilityConfig` that
+  scenarios and campaign grids carry.
 """
 
 from repro.mobility.base import MobilityModel, Region
+from repro.mobility.gauss_markov import GaussMarkovMobility
+from repro.mobility.legs import Leg, LegMobility
+from repro.mobility.manhattan import ManhattanGridMobility
 from repro.mobility.random_walk import RandomWalkMobility
 from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.registry import (
+    MobilityConfig,
+    as_mobility_config,
+    available_models,
+    build_mobility,
+    register_model,
+)
+from repro.mobility.rpgm import ReferencePointGroupMobility
 from repro.mobility.static import StaticMobility, uniform_random_positions
-from repro.mobility.traces import TraceMobility, load_ns2_trace, save_ns2_trace
+from repro.mobility.traces import (
+    TraceMobility,
+    load_ns2_trace,
+    parse_ns2_trace,
+    save_ns2_trace,
+)
 
 __all__ = [
+    "GaussMarkovMobility",
+    "Leg",
+    "LegMobility",
+    "ManhattanGridMobility",
+    "MobilityConfig",
     "MobilityModel",
     "RandomWalkMobility",
     "RandomWaypointMobility",
+    "ReferencePointGroupMobility",
     "Region",
     "StaticMobility",
     "TraceMobility",
+    "as_mobility_config",
+    "available_models",
+    "build_mobility",
     "load_ns2_trace",
+    "parse_ns2_trace",
+    "register_model",
     "save_ns2_trace",
     "uniform_random_positions",
 ]

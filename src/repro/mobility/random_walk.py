@@ -10,19 +10,18 @@ different mobility regime.
 
 from __future__ import annotations
 
-import bisect
 import math
 import random
 from typing import Sequence
 
 from repro.geometry.primitives import Point
 from repro.graphs.udg import NodeId
-from repro.mobility.base import MobilityModel, Region
-from repro.mobility.random_waypoint import Leg
+from repro.mobility.base import Region
+from repro.mobility.legs import Leg, LegMobility, reflect
 from repro.seeding import derive_rng
 
 
-class RandomWalkMobility(MobilityModel):
+class RandomWalkMobility(LegMobility):
     """Random direction walk with border reflection."""
 
     def __init__(
@@ -43,8 +42,6 @@ class RandomWalkMobility(MobilityModel):
         self.max_speed = max_speed
         self.epoch = epoch
         self._rngs: dict[NodeId, random.Random] = {}
-        self._legs: dict[NodeId, list[Leg]] = {}
-        self._leg_ends: dict[NodeId, list[float]] = {}
         for i, node in enumerate(self.node_ids):
             rng = derive_rng(seed, i, "rw")
             self._rngs[node] = rng
@@ -52,47 +49,26 @@ class RandomWalkMobility(MobilityModel):
                 rng.uniform(0.0, region.width),
                 rng.uniform(0.0, region.height),
             )
-            self._legs[node] = [Leg(0.0, 0.0, start, start)]
-            self._leg_ends[node] = [0.0]
+            self._seed_legs(node, start)
 
-    def _reflect(self, value: float, limit: float) -> float:
-        """Reflect a coordinate into [0, limit] (mirror at the borders)."""
-        period = 2.0 * limit
-        value = value % period
-        if value < 0:
-            value += period
-        return period - value if value > limit else value
-
-    def _extend(self, node: NodeId, until: float) -> None:
-        legs = self._legs[node]
-        ends = self._leg_ends[node]
+    def _advance(self, node: NodeId) -> bool:
         rng = self._rngs[node]
-        while ends[-1] < until:
-            origin = legs[-1].p_end
-            heading = rng.uniform(0.0, 2.0 * math.pi)
-            speed = rng.uniform(self.min_speed, self.max_speed)
-            t0 = ends[-1]
-            t1 = t0 + self.epoch
-            raw = Point(
-                origin.x + speed * self.epoch * math.cos(heading),
-                origin.y + speed * self.epoch * math.sin(heading),
-            )
-            target = Point(
-                self._reflect(raw.x, self.region.width),
-                self._reflect(raw.y, self.region.height),
-            )
-            # The reflected endpoint is what matters for contact dynamics;
-            # we approximate the reflected path by the straight leg to it,
-            # which stays inside the region by construction.
-            legs.append(Leg(t0, t1, origin, target))
-            ends.append(t1)
-
-    def position(self, node: NodeId, t: float) -> Point:
-        self.validate_time(t)
-        if node not in self._legs:
-            raise KeyError(f"unknown node {node!r}")
-        self._extend(node, t)
-        ends = self._leg_ends[node]
-        index = bisect.bisect_left(ends, t)
-        index = min(index, len(ends) - 1)
-        return self._legs[node][index].position_at(t)
+        last = self._legs[node][-1]
+        origin = last.p_end
+        heading = rng.uniform(0.0, 2.0 * math.pi)
+        speed = rng.uniform(self.min_speed, self.max_speed)
+        t0 = last.t_end
+        t1 = t0 + self.epoch
+        raw = Point(
+            origin.x + speed * self.epoch * math.cos(heading),
+            origin.y + speed * self.epoch * math.sin(heading),
+        )
+        target = Point(
+            reflect(raw.x, self.region.width),
+            reflect(raw.y, self.region.height),
+        )
+        # The reflected endpoint is what matters for contact dynamics;
+        # we approximate the reflected path by the straight leg to it,
+        # which stays inside the region by construction.
+        self._append_leg(node, Leg(t0, t1, origin, target))
+        return True

@@ -5,10 +5,9 @@ uniform speed in ``[min_speed, max_speed]``, travel there in a straight
 line, pause for ``pause_time``, repeat.  The paper's Table 1 settings
 are speed uniform in 0–20 m/s with pause time 0 s.
 
-Trajectories are piecewise linear, so instead of ticking a clock the
-model materializes *legs* — ``(t_start, t_end, p_start, p_end)`` — lazily
-per node and answers position queries by binary search.  Query cost is
-O(log legs); leg lists extend on demand to cover any query time.
+Trajectories ride on the shared analytic-legs machinery
+(:mod:`repro.mobility.legs`): legs materialize lazily per node and
+position queries bisect over leg end times.
 
 A strictly positive floor is applied to the minimum speed (default
 0.1 m/s).  This sidesteps the well-known RWP pathology where a speed
@@ -19,39 +18,19 @@ guard.
 
 from __future__ import annotations
 
-import bisect
 import random
-from dataclasses import dataclass
 from typing import Sequence
 
 from repro.geometry.primitives import Point
 from repro.graphs.udg import NodeId
-from repro.mobility.base import MobilityModel, Region
+from repro.mobility.base import Region
+from repro.mobility.legs import Leg, LegMobility
 from repro.seeding import derive_rng
 
-
-@dataclass(frozen=True)
-class Leg:
-    """One straight-line segment (or pause) of a trajectory."""
-
-    t_start: float
-    t_end: float
-    p_start: Point
-    p_end: Point
-
-    def position_at(self, t: float) -> Point:
-        """Interpolate along the leg; ``t`` must be within the leg."""
-        if self.t_end <= self.t_start:
-            return self.p_start
-        alpha = (t - self.t_start) / (self.t_end - self.t_start)
-        alpha = min(1.0, max(0.0, alpha))
-        return Point(
-            self.p_start.x + alpha * (self.p_end.x - self.p_start.x),
-            self.p_start.y + alpha * (self.p_end.y - self.p_start.y),
-        )
+__all__ = ["Leg", "RandomWaypointMobility"]
 
 
-class RandomWaypointMobility(MobilityModel):
+class RandomWaypointMobility(LegMobility):
     """The random waypoint model (paper Table 1 motion pattern)."""
 
     #: Guard against the zero-speed pathology (see module docstring).
@@ -78,8 +57,6 @@ class RandomWaypointMobility(MobilityModel):
         self.pause_time = pause_time
         self._seed = seed
         self._rngs: dict[NodeId, random.Random] = {}
-        self._legs: dict[NodeId, list[Leg]] = {}
-        self._leg_ends: dict[NodeId, list[float]] = {}
         for i, node in enumerate(self.node_ids):
             rng = derive_rng(seed, i, "rwp")
             self._rngs[node] = rng
@@ -87,44 +64,21 @@ class RandomWaypointMobility(MobilityModel):
                 rng.uniform(0.0, region.width),
                 rng.uniform(0.0, region.height),
             )
-            # Seed the leg list with a zero-length leg so extension logic
-            # always has a previous endpoint to continue from.
-            self._legs[node] = [Leg(0.0, 0.0, start, start)]
-            self._leg_ends[node] = [0.0]
+            self._seed_legs(node, start)
 
-    def _extend(self, node: NodeId, until: float) -> None:
-        """Materialize legs for ``node`` to cover time ``until``."""
-        legs = self._legs[node]
-        ends = self._leg_ends[node]
+    def _advance(self, node: NodeId) -> bool:
         rng = self._rngs[node]
-        while ends[-1] < until:
-            last = legs[-1]
-            origin = last.p_end
-            target = Point(
-                rng.uniform(0.0, self.region.width),
-                rng.uniform(0.0, self.region.height),
-            )
-            speed = rng.uniform(self.min_speed, self.max_speed)
-            travel_time = origin.distance_to(target) / speed
-            t0 = ends[-1]
-            t1 = t0 + travel_time
-            legs.append(Leg(t0, t1, origin, target))
-            ends.append(t1)
-            if self.pause_time > 0:
-                legs.append(Leg(t1, t1 + self.pause_time, target, target))
-                ends.append(t1 + self.pause_time)
-
-    def position(self, node: NodeId, t: float) -> Point:
-        self.validate_time(t)
-        if node not in self._legs:
-            raise KeyError(f"unknown node {node!r}")
-        self._extend(node, t)
-        ends = self._leg_ends[node]
-        index = bisect.bisect_left(ends, t)
-        index = min(index, len(ends) - 1)
-        return self._legs[node][index].position_at(t)
-
-    def waypoints_until(self, node: NodeId, until: float) -> list[Leg]:
-        """Materialized legs covering ``[0, until]`` — used by trace export."""
-        self._extend(node, until)
-        return [leg for leg in self._legs[node] if leg.t_start <= until]
+        last = self._legs[node][-1]
+        origin = last.p_end
+        target = Point(
+            rng.uniform(0.0, self.region.width),
+            rng.uniform(0.0, self.region.height),
+        )
+        speed = rng.uniform(self.min_speed, self.max_speed)
+        travel_time = origin.distance_to(target) / speed
+        t0 = last.t_end
+        t1 = t0 + travel_time
+        self._append_leg(node, Leg(t0, t1, origin, target))
+        if self.pause_time > 0:
+            self._append_leg(node, Leg(t1, t1 + self.pause_time, target, target))
+        return True

@@ -24,8 +24,8 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.geometry.primitives import Point
 from repro.graphs.udg import NodeId
-from repro.mobility.base import MobilityModel, Region
-from repro.mobility.random_waypoint import Leg, RandomWaypointMobility
+from repro.mobility.base import Region
+from repro.mobility.legs import Leg, LegMobility
 
 _RE_INITIAL = re.compile(
     r"\$node_\((?P<node>\d+)\)\s+set\s+(?P<axis>[XY])_\s+(?P<value>[-\d.eE+]+)"
@@ -73,30 +73,38 @@ def _position_on_legs(legs: Sequence[Leg], t: float) -> Point:
     return legs[index].position_at(t)
 
 
-class TraceMobility(MobilityModel):
-    """Replay trajectories compiled from :class:`NodeTrace` records."""
+class TraceMobility(LegMobility):
+    """Replay trajectories compiled from :class:`NodeTrace` records.
+
+    Trajectories are finite: past the last command a node holds its
+    final position forever (``_advance`` never extends).  Every leg
+    endpoint must lie inside ``region`` (legs are straight, so the
+    whole trajectory then does too) — a trace generated for a different
+    field size fails loudly instead of silently breaking the
+    stays-inside-the-region invariant every model guarantees.
+    """
+
+    #: Tolerance for endpoints sitting on the region border (the ns-2
+    #: export rounds coordinates to 6 decimals).
+    BORDER_TOL = 1e-6
 
     def __init__(self, region: Region, traces: Mapping[NodeId, NodeTrace]):
         super().__init__(list(traces), region)
-        self._legs = {node: trace.to_legs() for node, trace in traces.items()}
-        self._ends = {
-            node: [leg.t_end for leg in legs]
-            for node, legs in self._legs.items()
-        }
-
-    def position(self, node: NodeId, t: float) -> Point:
-        self.validate_time(t)
-        if node not in self._legs:
-            raise KeyError(f"unknown node {node!r}")
-        legs = self._legs[node]
-        ends = self._ends[node]
-        index = bisect.bisect_left(ends, t)
-        index = min(index, len(legs) - 1)
-        return legs[index].position_at(t)
+        for node, trace in traces.items():
+            legs = trace.to_legs()
+            for leg in legs:
+                for p in (leg.p_start, leg.p_end):
+                    if not region.contains(p, tol=self.BORDER_TOL):
+                        raise ValueError(
+                            f"trace for node {node!r} leaves the "
+                            f"{region.width:g}x{region.height:g} region "
+                            f"at {p} (t={leg.t_start:g})"
+                        )
+            self._preload_legs(node, legs)
 
 
-def load_ns2_trace(path: str | Path, region: Region) -> TraceMobility:
-    """Parse an ns-2 movement scenario file into a mobility model."""
+def parse_ns2_trace(path: str | Path) -> dict[NodeId, NodeTrace]:
+    """Parse an ns-2 movement scenario file into per-node trace records."""
     traces: dict[NodeId, NodeTrace] = {}
     initial_coords: dict[int, dict[str, float]] = {}
     commands: dict[int, list[tuple[float, Point, float]]] = {}
@@ -133,18 +141,26 @@ def load_ns2_trace(path: str | Path, region: Region) -> TraceMobility:
             raise ValueError(
                 f"node {node} has setdest commands but no initial position"
             )
-    return TraceMobility(region, traces)
+    return traces
+
+
+def load_ns2_trace(path: str | Path, region: Region) -> TraceMobility:
+    """Parse an ns-2 movement scenario file into a mobility model."""
+    return TraceMobility(region, parse_ns2_trace(path))
 
 
 def save_ns2_trace(
-    model: RandomWaypointMobility,
+    model: LegMobility,
     path: str | Path,
     until: float,
     node_order: Iterable[NodeId] | None = None,
 ) -> None:
-    """Export a random-waypoint model as an ns-2 movement scenario.
+    """Export any leg-based mobility model as an ns-2 movement scenario.
 
-    Nodes are numbered 0..n-1 in ``node_order`` (default: model order).
+    Works for every model built on :class:`~repro.mobility.legs
+    .LegMobility` (random waypoint, random walk, Gauss–Markov,
+    Manhattan grid, trace replay).  Nodes are numbered 0..n-1 in
+    ``node_order`` (default: model order).
     """
     order = list(node_order) if node_order is not None else model.node_ids
     lines: list[str] = [

@@ -22,6 +22,7 @@ from repro.experiments.campaign import (
 )
 from repro.experiments.runner import run_replicates
 from repro.experiments.scenarios import Scenario
+from repro.mobility.registry import MobilityConfig
 
 #: Small enough that a full grid with replicates finishes in seconds.
 TINY = Scenario(
@@ -71,6 +72,32 @@ class TestTaskKey:
         payload = task_payload(task)
         assert json.loads(json.dumps(payload)) == payload
         assert payload["format"] == CACHE_FORMAT
+
+    def test_mobility_config_is_cache_relevant(self):
+        base = ReplicateTask(TINY, "glr", 0)
+        keys = {
+            task_key(ReplicateTask(TINY.but(mobility=m), "glr", 0))
+            for m in (
+                "rwp",
+                "gauss_markov",
+                MobilityConfig.of("rpgm", n_groups=2),
+                MobilityConfig.of("rpgm", n_groups=5),
+            )
+        }
+        keys.add(task_key(base))  # mobility=None (paper RWP path)
+        assert len(keys) == 5
+
+    def test_equivalent_mobility_forms_share_a_key(self):
+        a = ReplicateTask(TINY.but(mobility="gauss-markov"), "glr", 0)
+        b = ReplicateTask(
+            TINY.but(mobility={"model": "gauss_markov"}), "glr", 0
+        )
+        c = ReplicateTask(
+            TINY.but(mobility=MobilityConfig.of("gauss_markov")), "glr", 0
+        )
+        assert task_key(a) == task_key(b) == task_key(c)
+        payload = task_payload(a)
+        assert json.loads(json.dumps(payload)) == payload
 
 
 class TestReplicateSpec:
@@ -304,6 +331,83 @@ class TestCampaignSpec:
     def test_from_dict_rejects_unknown_base_field(self):
         with pytest.raises(ValueError):
             CampaignSpec.from_dict({"name": "x", "base": {"warp": 9}})
+
+
+class TestMobilityAxis:
+    """The tentpole acceptance: one spec sweeping >= 4 movement models."""
+
+    def _spec(self, replicates=1):
+        return CampaignSpec(
+            name="mob",
+            base=TINY,
+            grid=(
+                ("mobility", ("rwp", "gauss-markov", "rpgm", "manhattan")),
+            ),
+            protocols=("glr",),
+            replicates=replicates,
+        )
+
+    def test_grid_values_coerced_to_configs(self):
+        spec = self._spec()
+        (field, values), = spec.grid
+        assert field == "mobility"
+        assert all(isinstance(v, MobilityConfig) for v in values)
+        names = [s.name for s in spec.scenarios()]
+        assert names == [
+            "mob/mobility=random_waypoint",
+            "mob/mobility=gauss_markov",
+            "mob/mobility=rpgm",
+            "mob/mobility=manhattan",
+        ]
+
+    def test_duplicate_models_rejected_across_forms(self):
+        # "rwp" and "random_waypoint" are the same model; the coerced
+        # values must collide in the duplicate check.
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(
+                name="dup",
+                base=TINY,
+                grid=(("mobility", ("rwp", "random_waypoint")),),
+            )
+
+    def test_parallel_matches_serial_across_models(self):
+        spec = self._spec()
+        serial = run_campaign(spec, workers=1)
+        parallel = run_campaign(spec, workers=4)
+        assert set(serial.metrics) == set(parallel.metrics)
+        assert len(serial.metrics) == 4
+        for cell in serial.metrics:
+            for s, p in zip(serial.metrics[cell], parallel.metrics[cell]):
+                assert metrics_fingerprint(s) == metrics_fingerprint(p)
+
+    def test_cache_resume_is_bit_identical(self, tmp_path):
+        spec = self._spec()
+        cold = run_campaign(spec, workers=2, cache_dir=tmp_path)
+        assert cold.cache_misses == 4 and cold.cache_hits == 0
+        resumed = run_campaign(spec, workers=2, cache_dir=tmp_path)
+        assert resumed.cache_hits == 4 and resumed.cache_misses == 0
+        for cell in cold.metrics:
+            for a, b in zip(cold.metrics[cell], resumed.metrics[cell]):
+                assert metrics_fingerprint(a) == metrics_fingerprint(b)
+
+    def test_dict_round_trip_with_mobility(self):
+        spec = CampaignSpec(
+            name="rt",
+            base=TINY.but(mobility="gauss-markov"),
+            grid=(
+                (
+                    "mobility",
+                    (
+                        MobilityConfig.of("rpgm", n_groups=2),
+                        MobilityConfig.of("manhattan", blocks_x=4),
+                    ),
+                ),
+            ),
+            protocols=("glr",),
+            replicates=2,
+        )
+        document = json.loads(json.dumps(spec.to_dict()))
+        assert CampaignSpec.from_dict(document) == spec
 
 
 class TestRunCampaign:

@@ -204,3 +204,156 @@ class TestCampaign:
         out = capsys.readouterr().out
         assert "json-spec/radius=100.0" in out
         assert "4 simulations" in out
+
+
+class TestMobilityCli:
+    def test_list_shows_models_and_suites(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mobility models:" in out
+        assert "gauss_markov" in out
+        assert "suites:" in out
+        assert "cross-mobility" in out
+
+    def test_campaign_mobility_grid(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--name",
+                "cli-mob",
+                "--mobility",
+                "rwp,manhattan",
+                "--node-counts",
+                "10",
+                "--protocols",
+                "glr",
+                "--replicates",
+                "1",
+                "--messages",
+                "2",
+                "--sim-time",
+                "15",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 simulations" in out
+        assert "mobility=random_waypoint" in out
+        assert "mobility=manhattan" in out
+
+    def test_campaign_unknown_mobility_exits_2(self, capsys):
+        assert main(["campaign", "--mobility", "teleport"]) == 2
+        assert "unknown mobility model" in capsys.readouterr().err
+
+    def test_campaign_suite(self, capsys, monkeypatch):
+        from repro.experiments.common import Effort
+        from repro.cli import EFFORTS
+
+        monkeypatch.setitem(
+            EFFORTS, "bench", Effort(runs=1, sim_time=10.0, message_count=2)
+        )
+        code = main(
+            [
+                "campaign",
+                "--suite",
+                "convoy",
+                "--replicates",
+                "1",
+                "--effort",
+                "bench",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "convoy/mobility=rpgm" in out
+        assert "6 simulations" in out  # 3 RPGM variants x 2 protocols
+
+    def test_campaign_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--suite", "nonsense"])
+
+    def test_campaign_suite_rejects_conflicting_flags(self, capsys):
+        assert main(
+            ["campaign", "--suite", "convoy", "--protocols", "glr"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--protocols" in err and "--suite" in err
+        assert main(
+            ["campaign", "--suite", "convoy", "--messages", "50"]
+        ) == 2
+        assert "--messages" in capsys.readouterr().err
+
+    def test_campaign_spec_and_suite_mutually_exclusive(self, capsys):
+        assert main(
+            ["campaign", "--spec", "x.json", "--suite", "convoy"]
+        ) == 2
+        assert "one or the other" in capsys.readouterr().err
+
+    def test_spec_composes_with_seed_and_replicates(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "compose",
+                    "base": {"n_nodes": 10, "active_nodes": 5,
+                             "message_count": 2, "sim_time": 15.0},
+                    "protocols": ["glr"],
+                    "replicates": 3,
+                }
+            )
+        )
+        code = main(
+            ["campaign", "--spec", str(spec_path), "--replicates", "1",
+             "--seed", "9", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 replicates = 1 simulations" in out
+
+    def test_campaign_spec_rejects_conflicting_flags(self, capsys):
+        assert main(
+            ["campaign", "--spec", "x.json", "--protocols", "glr",
+             "--radii", "50,100"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--spec" in err and "--protocols" in err and "--radii" in err
+
+    def test_campaign_effort_is_suite_only(self, capsys):
+        assert main(
+            ["campaign", "--radii", "50,100", "--effort", "bench"]
+        ) == 2
+        assert "--effort" in capsys.readouterr().err
+        assert main(
+            ["campaign", "--spec", "x.json", "--effort", "bench"]
+        ) == 2
+        assert "--effort" in capsys.readouterr().err
+
+    def test_experiment_mobility_flag(self, capsys, tmp_path, monkeypatch):
+        from repro.experiments.common import Effort
+        from repro.cli import EFFORTS
+
+        monkeypatch.setitem(
+            EFFORTS, "bench", Effort(runs=1, sim_time=10.0, message_count=2)
+        )
+        code = main(
+            [
+                "experiment",
+                "fig6",
+                "--effort",
+                "bench",
+                "--mobility",
+                "gauss-markov",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "fig6" in capsys.readouterr().out
+
+    def test_fig1_rejects_mobility(self, capsys):
+        assert main(
+            ["experiment", "fig1", "--mobility", "gauss-markov"]
+        ) == 2
+        assert "static-topology" in capsys.readouterr().err

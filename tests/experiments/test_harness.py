@@ -47,6 +47,54 @@ class TestScenario:
         with pytest.raises(ValueError):
             Scenario(sim_time=0.0)
 
+    def test_speed_pair_validated_at_construction(self):
+        # Before the mobility subsystem this only surfaced deep inside
+        # RandomWaypointMobility at build_world time.
+        with pytest.raises(ValueError, match="min_speed"):
+            Scenario(min_speed=30.0, max_speed=20.0)
+        with pytest.raises(ValueError, match="min_speed"):
+            Scenario(min_speed=-1.0)
+        with pytest.raises(ValueError, match="max speed"):
+            Scenario(max_speed=0.0)
+        Scenario(min_speed=5.0, max_speed=5.0)  # equal speeds are fine
+
+    def test_beacon_interval_validated(self):
+        with pytest.raises(ValueError, match="beacon"):
+            Scenario(beacon_interval=0.0)
+        with pytest.raises(ValueError, match="beacon"):
+            Scenario(beacon_interval=-1.0)
+
+    def test_queue_limit_validated(self):
+        with pytest.raises(ValueError, match="queue"):
+            Scenario(queue_limit=0)
+        Scenario(queue_limit=1)
+
+    def test_mobility_strings_coerced(self):
+        from repro.mobility.registry import MobilityConfig
+
+        s = Scenario(mobility="gauss-markov")
+        assert s.mobility == MobilityConfig.of("gauss_markov")
+        assert Scenario().mobility is None
+        # Coercion must survive `but` (dataclasses.replace re-inits).
+        assert s.but(radius=50.0).mobility == s.mobility
+
+    def test_unknown_mobility_rejected(self):
+        with pytest.raises(ValueError, match="unknown mobility model"):
+            Scenario(mobility="teleport")
+
+    def test_motion_fields_conflict_with_mobility_config(self):
+        # The speed/pause fields only drive the default RWP path; a
+        # registry model must take them via its params, otherwise a
+        # "speed sweep" x mobility grid would simulate identical cells.
+        with pytest.raises(ValueError, match="mobility config"):
+            Scenario(mobility="gauss-markov", max_speed=10.0)
+        with pytest.raises(ValueError, match="mobility config"):
+            Scenario(mobility="rwp", min_speed=5.0)
+        with pytest.raises(ValueError, match="mobility config"):
+            Scenario(mobility="manhattan", pause_time=30.0)
+        # Defaults are fine, and the params route works.
+        Scenario(mobility={"model": "rwp", "min_speed": 5.0})
+
     def test_area(self):
         assert PAPER_TABLE1.area == 450_000.0
 
@@ -107,6 +155,41 @@ class TestRunner:
         assert len(world.protocols) == 50
         assert world.config.radio.range_m == scenario.radius
         assert world.config.mac.queue_limit == scenario.queue_limit
+
+    def test_default_scenario_uses_paper_rwp_model(self):
+        from repro.mobility.random_waypoint import RandomWaypointMobility
+
+        world = build_world(Scenario(message_count=1, sim_time=5.0), "glr")
+        assert type(world.mobility) is RandomWaypointMobility
+
+    def test_mobility_config_reaches_the_world(self):
+        from repro.mobility.gauss_markov import GaussMarkovMobility
+        from repro.mobility.rpgm import ReferencePointGroupMobility
+
+        scenario = Scenario(
+            message_count=1, sim_time=5.0, mobility="gauss-markov"
+        )
+        world = build_world(scenario, "glr")
+        assert isinstance(world.mobility, GaussMarkovMobility)
+        grouped = Scenario(
+            message_count=1,
+            sim_time=5.0,
+            mobility={"model": "rpgm", "n_groups": 5},
+        )
+        world = build_world(grouped, "glr")
+        assert isinstance(world.mobility, ReferencePointGroupMobility)
+        assert world.mobility.n_groups == 5
+
+    def test_mobility_scenario_simulates_end_to_end(self):
+        scenario = Scenario(
+            n_nodes=10,
+            active_nodes=5,
+            message_count=3,
+            sim_time=20.0,
+            mobility="manhattan",
+        )
+        metrics = run_single(scenario, "epidemic")
+        assert metrics.messages_created == 3
 
     def test_run_single_returns_metrics(self):
         scenario = Scenario(

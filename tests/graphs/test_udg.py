@@ -124,6 +124,46 @@ class TestGridIndex:
         assert found == brute
 
 
+class TestIterPairsWithin:
+    """The deduped pair iteration behind the beacon-tick UDG rebuild."""
+
+    def test_rejects_bad_radius(self):
+        index = GridIndex(cell_size=10.0)
+        with pytest.raises(ValueError):
+            list(index.iter_pairs_within(0.0))
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    @pytest.mark.parametrize("cell_size,radius", [
+        (25.0, 25.0),   # radius == cell size (the unit_disk_graph case)
+        (10.0, 25.0),   # radius spans several cells (reach > 1)
+        (40.0, 25.0),   # radius smaller than a cell
+    ])
+    def test_each_close_pair_yielded_exactly_once(
+        self, seed, cell_size, radius
+    ):
+        pts = random_points(40, seed, side=100.0)
+        index = GridIndex(cell_size=cell_size)
+        for i, p in enumerate(pts):
+            index.insert(i, p)
+        yielded = list(index.iter_pairs_within(radius))
+        canonical = [tuple(sorted(pair)) for pair in yielded]
+        assert len(canonical) == len(set(canonical)), "pair yielded twice"
+        brute = {
+            (i, j)
+            for i in range(len(pts))
+            for j in range(i + 1, len(pts))
+            if distance(pts[i], pts[j]) <= radius
+        }
+        assert set(canonical) == brute
+
+    def test_no_self_pairs_for_coincident_points(self):
+        index = GridIndex(cell_size=10.0)
+        index.insert("a", Point(5, 5))
+        index.insert("b", Point(5, 5))
+        pairs = list(index.iter_pairs_within(1.0))
+        assert pairs == [("a", "b")]
+
+
 class TestUnitDiskGraph:
     def test_rejects_bad_radius(self):
         with pytest.raises(ValueError):

@@ -6,9 +6,15 @@ from hypothesis import strategies as st
 
 from repro.geometry.primitives import Point
 from repro.mobility.base import Region
+from repro.mobility.gauss_markov import GaussMarkovMobility
+from repro.mobility.manhattan import ManhattanGridMobility
 from repro.mobility.random_walk import RandomWalkMobility
 from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.rpgm import ReferencePointGroupMobility
 from repro.mobility.static import StaticMobility, uniform_random_positions
+
+#: Sampling grid used by the containment/determinism checks below.
+QUERY_TIMES = [0.0, 0.3, 7.7, 50.0, 123.4, 500.0, 1999.5, 3800.0]
 
 
 class TestRegion:
@@ -167,3 +173,245 @@ class TestRandomWalk:
     def test_positions_progress_over_time(self, small_region):
         m = RandomWalkMobility([0], small_region, seed=2)
         assert m.position(0, 0.0) != m.position(0, 100.0)
+
+
+#: (model class, extra kwargs) for the shared behavioural checks every
+#: generative model must satisfy: seed determinism, region containment
+#: at arbitrary query times, seed sensitivity, and actual movement.
+GENERATIVE_MODELS = [
+    (RandomWaypointMobility, {}),
+    (RandomWalkMobility, {}),
+    (GaussMarkovMobility, {}),
+    (GaussMarkovMobility, {"alpha": 0.0}),
+    (GaussMarkovMobility, {"alpha": 1.0}),
+    (ManhattanGridMobility, {}),
+    (ManhattanGridMobility, {"blocks_x": 1, "blocks_y": 1}),
+    (ReferencePointGroupMobility, {}),
+    (ReferencePointGroupMobility, {"n_groups": 1}),
+]
+
+
+@pytest.mark.parametrize("model_cls,kwargs", GENERATIVE_MODELS)
+class TestGenerativeModelContract:
+    def test_same_seed_identical_trajectories(
+        self, small_region, model_cls, kwargs
+    ):
+        a = model_cls([0, 1, 2], small_region, seed=11, **kwargs)
+        b = model_cls([0, 1, 2], small_region, seed=11, **kwargs)
+        for t in QUERY_TIMES:
+            for node in (0, 1, 2):
+                assert a.position(node, t) == b.position(node, t)
+
+    def test_non_monotone_queries_are_stable(
+        self, small_region, model_cls, kwargs
+    ):
+        # Querying late then early then late again must not perturb the
+        # lazily materialized trajectory.
+        a = model_cls([0], small_region, seed=4, **kwargs)
+        late = a.position(0, 400.0)
+        a.position(0, 3.0)
+        assert a.position(0, 400.0) == late
+
+    def test_stays_inside_region(self, small_region, model_cls, kwargs):
+        m = model_cls([0, 1], small_region, seed=13, **kwargs)
+        for t in QUERY_TIMES:
+            for node in (0, 1):
+                assert small_region.contains(m.position(node, t)), (
+                    f"{model_cls.__name__} left the region at t={t}"
+                )
+
+    def test_different_seeds_differ(self, small_region, model_cls, kwargs):
+        a = model_cls([0], small_region, seed=1, **kwargs)
+        b = model_cls([0], small_region, seed=2, **kwargs)
+        assert any(
+            a.position(0, t) != b.position(0, t) for t in QUERY_TIMES
+        )
+
+    def test_nodes_move(self, small_region, model_cls, kwargs):
+        m = model_cls([0], small_region, seed=5, **kwargs)
+        p0 = m.position(0, 0.0)
+        assert any(m.position(0, t) != p0 for t in (60.0, 120.0, 300.0))
+
+    def test_negative_time_rejected(self, small_region, model_cls, kwargs):
+        m = model_cls([0], small_region, seed=5, **kwargs)
+        with pytest.raises(ValueError):
+            m.position(0, -0.1)
+
+    def test_unknown_node_rejected(self, small_region, model_cls, kwargs):
+        m = model_cls([0], small_region, seed=5, **kwargs)
+        with pytest.raises(KeyError):
+            m.position(99, 1.0)
+
+
+class TestGaussMarkov:
+    def test_double_bounce_keeps_heading_state_in_sync(self, small_region):
+        """A step long enough to cross the region twice nets an even
+        number of bounces: position returns to the start and the stored
+        heading must NOT flip (mirror reflection has period 2*limit)."""
+        import math
+
+        from repro.geometry.primitives import Point
+        from repro.mobility.legs import Leg
+
+        m = GaussMarkovMobility(
+            [0], small_region, seed=1, alpha=1.0, update_interval=1.0,
+            mean_speed=10.0, max_speed=2.0 * small_region.height,
+        )
+        start = Point(150.0, 100.0)
+        m._legs[0] = [Leg(0.0, 0.0, start, start)]
+        m._leg_ends[0] = [0.0]
+        m._direction[0] = math.pi / 2.0  # straight up
+        m._speed[0] = 2.0 * small_region.height  # two full crossings
+        p = m.position(0, 1.0)
+        assert p.x == pytest.approx(start.x)
+        assert p.y == pytest.approx(start.y)  # even bounces: back home
+        # alpha=1 means the heading only changes via bounce flips; an
+        # even bounce count must leave it pointing up, not down.
+        assert math.sin(m._direction[0]) == pytest.approx(1.0)
+
+    def test_invalid_parameters(self, small_region):
+        with pytest.raises(ValueError):
+            GaussMarkovMobility([0], small_region, seed=1, alpha=1.5)
+        with pytest.raises(ValueError):
+            GaussMarkovMobility([0], small_region, seed=1, mean_speed=0.0)
+        with pytest.raises(ValueError):
+            GaussMarkovMobility([0], small_region, seed=1, speed_std=-1.0)
+        with pytest.raises(ValueError):
+            GaussMarkovMobility(
+                [0], small_region, seed=1, update_interval=0.0
+            )
+        with pytest.raises(ValueError):
+            GaussMarkovMobility(
+                [0], small_region, seed=1, mean_speed=10.0, max_speed=5.0
+            )
+        with pytest.raises(ValueError):
+            GaussMarkovMobility(
+                [0], small_region, seed=1, edge_margin=1000.0
+            )
+
+    def test_speed_respects_cap(self, small_region):
+        m = GaussMarkovMobility(
+            [0], small_region, seed=3, mean_speed=10.0, max_speed=12.0
+        )
+        dt = m.update_interval
+        prev = m.position(0, 0.0)
+        for step in range(1, 200):
+            cur = m.position(0, step * dt)
+            # One leg per interval; reflection can only shorten the
+            # displacement, never lengthen it.
+            assert prev.distance_to(cur) <= 12.0 * dt + 1e-6
+            prev = cur
+
+    def test_high_alpha_is_smoother_than_low_alpha(self, small_region):
+        """Memory must show up as straighter paths (smaller turns)."""
+        import math
+
+        def mean_turn(alpha):
+            m = GaussMarkovMobility(
+                [0], small_region, seed=9, alpha=alpha, update_interval=1.0
+            )
+            pts = [m.position(0, float(t)) for t in range(0, 200)]
+            headings = [
+                math.atan2(b.y - a.y, b.x - a.x)
+                for a, b in zip(pts, pts[1:])
+                if a != b
+            ]
+            turns = [
+                abs((b - a + math.pi) % (2.0 * math.pi) - math.pi)
+                for a, b in zip(headings, headings[1:])
+            ]
+            return sum(turns) / len(turns)
+
+        assert mean_turn(0.95) < mean_turn(0.05)
+
+
+class TestManhattan:
+    def test_invalid_parameters(self, small_region):
+        with pytest.raises(ValueError):
+            ManhattanGridMobility([0], small_region, seed=1, blocks_x=0)
+        with pytest.raises(ValueError):
+            ManhattanGridMobility([0], small_region, seed=1, min_speed=0.0)
+        with pytest.raises(ValueError):
+            ManhattanGridMobility([0], small_region, seed=1, turn_prob=0.6)
+
+    def test_positions_stay_on_streets(self, small_region):
+        blocks_x, blocks_y = 3, 3
+        m = ManhattanGridMobility(
+            [0, 1], small_region, seed=7, blocks_x=blocks_x, blocks_y=blocks_y
+        )
+        step_x = small_region.width / blocks_x
+        step_y = small_region.height / blocks_y
+
+        def on_grid_line(value, step):
+            ratio = value / step
+            return abs(ratio - round(ratio)) < 1e-9
+
+        for t in [x * 1.7 for x in range(200)]:
+            for node in (0, 1):
+                p = m.position(node, t)
+                assert on_grid_line(p.x, step_x) or on_grid_line(p.y, step_y)
+
+    def test_speed_bounds_hold_along_streets(self, small_region):
+        m = ManhattanGridMobility(
+            [0], small_region, seed=3, min_speed=5.0, max_speed=10.0
+        )
+        legs = m.waypoints_until(0, 300.0)
+        for leg in legs:
+            duration = leg.t_end - leg.t_start
+            if duration <= 0:
+                continue
+            speed = leg.p_start.distance_to(leg.p_end) / duration
+            assert 5.0 - 1e-9 <= speed <= 10.0 + 1e-9
+
+
+class TestReferencePointGroup:
+    def test_invalid_parameters(self, small_region):
+        with pytest.raises(ValueError):
+            ReferencePointGroupMobility(
+                [0, 1], small_region, seed=1, n_groups=3
+            )
+        with pytest.raises(ValueError):
+            ReferencePointGroupMobility(
+                [0, 1], small_region, seed=1, n_groups=0
+            )
+        with pytest.raises(ValueError):
+            ReferencePointGroupMobility(
+                [0, 1], small_region, seed=1, group_radius=0.0
+            )
+        with pytest.raises(ValueError):
+            ReferencePointGroupMobility(
+                [0, 1], small_region, seed=1, member_speed=0.0
+            )
+
+    def test_members_partition_into_contiguous_groups(self, small_region):
+        m = ReferencePointGroupMobility(
+            list(range(10)), small_region, seed=2, n_groups=2
+        )
+        groups = [m.group_of(node) for node in range(10)]
+        assert groups == sorted(groups)
+        assert set(groups) == {0, 1}
+
+    def test_members_track_their_reference_point(self, small_region):
+        radius = 30.0
+        m = ReferencePointGroupMobility(
+            list(range(6)), small_region, seed=8, n_groups=2,
+            group_radius=radius,
+        )
+        for t in (0.0, 40.0, 333.0, 900.0):
+            for node in range(6):
+                center = m.center_position(m.group_of(node), t)
+                p = m.position(node, t)
+                # Clamping at the border can only pull a member closer
+                # to the region, never push it away from its centre
+                # by more than the offset disk radius.
+                assert p.distance_to(center) <= radius + 1e-6
+
+    def test_groups_move_independently(self, small_region):
+        m = ReferencePointGroupMobility(
+            list(range(4)), small_region, seed=5, n_groups=2
+        )
+        deltas = [
+            m.center_position(0, t).distance_to(m.center_position(1, t))
+            for t in (0.0, 100.0, 300.0, 600.0)
+        ]
+        assert len({round(d, 6) for d in deltas}) > 1

@@ -72,6 +72,43 @@ class TestTraceMobility:
 
 
 class TestRoundTrip:
+    @pytest.mark.parametrize("model_name", [
+        "random_waypoint", "gauss_markov", "manhattan", "random_walk",
+    ])
+    def test_round_trip_across_horizon(self, tmp_path, model_name):
+        """save_ns2_trace -> load_ns2_trace reproduces every leg-based
+        model's positions within tolerance across the whole horizon."""
+        from repro.mobility.registry import as_mobility_config, build_mobility
+
+        region = Region(600.0, 300.0)
+        horizon = 180.0
+        original = build_mobility(
+            as_mobility_config(model_name), list(range(5)), region, seed=23
+        )
+        path = tmp_path / f"{model_name}.tcl"
+        save_ns2_trace(original, path, until=horizon)
+        replayed = load_ns2_trace(path, region)
+        t = 0.0
+        while t <= horizon:
+            for node in range(5):
+                a = original.position(node, t)
+                b = replayed.position(node, t)
+                assert a.distance_to(b) < 0.5, (
+                    f"{model_name} node {node} diverged at t={t}: {a} vs {b}"
+                )
+            t += 7.3
+
+    def test_round_trip_is_deterministic(self, tmp_path):
+        region = Region(600.0, 300.0)
+        original = RandomWaypointMobility([0, 1], region, seed=4)
+        path = tmp_path / "det.tcl"
+        save_ns2_trace(original, path, until=90.0)
+        first = load_ns2_trace(path, region)
+        second = load_ns2_trace(path, region)
+        for t in (0.0, 12.5, 89.9, 200.0):
+            for node in (0, 1):
+                assert first.position(node, t) == second.position(node, t)
+
     def test_export_import_preserves_positions(self, tmp_path):
         region = Region(500.0, 300.0)
         original = RandomWaypointMobility(
@@ -109,6 +146,26 @@ class TestRoundTrip:
         path.write_text('$ns_ at 1.0 "$node_(3) setdest 1.0 2.0 3.0"\n')
         with pytest.raises(ValueError):
             load_ns2_trace(path, Region(100, 100))
+
+    def test_trace_outside_region_rejected(self, tmp_path):
+        # A setdest file generated for a different field size must fail
+        # loudly instead of silently breaking the containment invariant.
+        path = tmp_path / "oversized.tcl"
+        path.write_text(
+            "$node_(0) set X_ 5000.0\n"
+            "$node_(0) set Y_ 900.0\n"
+        )
+        with pytest.raises(ValueError, match="leaves the"):
+            load_ns2_trace(path, Region(1500, 300))
+        in_region = tmp_path / "wander.tcl"
+        in_region.write_text(
+            "$node_(0) set X_ 10.0\n"
+            "$node_(0) set Y_ 10.0\n"
+            '$ns_ at 1.0 "$node_(0) setdest 400.0 200.0 5.0"\n'
+        )
+        with pytest.raises(ValueError, match="leaves the"):
+            load_ns2_trace(in_region, Region(100, 100))  # dest outside
+        load_ns2_trace(in_region, Region(500, 300))  # fits: loads fine
 
     def test_import_ignores_comments_and_z(self, tmp_path):
         path = tmp_path / "ok.tcl"
