@@ -1,9 +1,15 @@
-"""Aggregate metrics across replicate simulation runs."""
+"""Aggregate metrics across replicate simulation runs.
+
+Consumers hand this module *decoded* metrics — whether they came from a
+live simulation, the result cache, or a campaign metrics stream
+(:mod:`repro.experiments.stream`); aggregation itself is agnostic to
+where runs were executed or stored.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence, TypeVar
 
 from repro.analysis.ci import ConfidenceInterval, mean_confidence_interval
 from repro.sim.stats import SimulationMetrics
@@ -56,3 +62,21 @@ def summarize_metrics(runs: Sequence[SimulationMetrics]) -> MetricSummary:
             [r.average_peak_storage for r in runs]
         ),
     )
+
+
+CellKey = TypeVar("CellKey")
+
+
+def summarize_cells(
+    metrics_by_cell: Mapping[CellKey, Sequence[SimulationMetrics]],
+) -> dict[CellKey, MetricSummary]:
+    """One :class:`MetricSummary` per grid cell, preserving cell order.
+
+    This is the campaign-level aggregation step: cells are whatever the
+    caller keys them by (``(scenario name, protocol label)`` for
+    campaigns and stream replays).
+    """
+    return {
+        cell: summarize_metrics(runs)
+        for cell, runs in metrics_by_cell.items()
+    }

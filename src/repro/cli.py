@@ -5,10 +5,14 @@ Subcommands:
 - ``run`` — one simulation with explicit parameters, printing metrics.
 - ``experiment`` — regenerate one of the paper's figures/tables (or an
   ablation) at bench, spot, or paper effort.
-- ``campaign`` — run a declarative scenario-grid x protocol x replicate
-  sweep through the parallel campaign engine, with an on-disk result
-  cache so interrupted or repeated campaigns resume instead of
-  re-simulating.
+- ``campaign`` — run a declarative scenario-grid x protocol-config x
+  replicate sweep through the parallel campaign engine, with an
+  on-disk result cache and an append-only JSONL metrics stream so
+  interrupted or repeated campaigns resume instead of re-simulating.
+  ``--shard-index/--shard-count`` runs one deterministic slice of a
+  campaign (multi-machine sweeps); ``campaign merge`` unions shard
+  streams; ``campaign aggregate`` renders the summary table from a
+  stream alone.
 - ``list`` — enumerate available experiments and protocols.
 
 Examples::
@@ -18,15 +22,21 @@ Examples::
     repro experiment fig6 --mobility gauss-markov
     repro campaign --radii 50,100 --protocols glr,epidemic \\
         --replicates 3 --workers 4 --cache-dir .campaign-cache
-    repro campaign --mobility rwp,gauss-markov,rpgm,manhattan \\
-        --protocols glr,epidemic --workers 4
-    repro campaign --suite cross-mobility --effort bench --workers 8
+    repro campaign --mobility rwp,gauss-markov \\
+        --protocol-param check_interval=0.9,1.8 \\
+        --protocol-param custody=true,false --workers 4
+    repro campaign --suite mobility-x-protocol --effort bench
+    repro campaign --radii 50,100 --stream shard0.jsonl \\
+        --shard-index 0 --shard-count 2 --cache-dir CACHE
+    repro campaign merge --out merged.jsonl shard0.jsonl shard1.jsonl
+    repro campaign aggregate --stream merged.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import itertools
 import json
 import sys
 from pathlib import Path
@@ -36,8 +46,12 @@ from repro.experiments import ablations, figures, tables
 from repro.experiments.campaign import (
     CampaignSpec,
     TaskProgress,
+    campaign_result_from_stream,
+    merge_caches,
     run_campaign,
 )
+from repro.experiments.protocols import ProtocolConfig
+from repro.experiments.stream import merge_streams
 from repro.experiments.common import (
     BENCH_EFFORT,
     PAPER_EFFORT,
@@ -134,6 +148,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="run a scenario-grid sweep through the campaign engine",
     )
+    camp_sub = camp_p.add_subparsers(
+        dest="campaign_action", metavar="{merge,aggregate}"
+    )
+    merge_p = camp_sub.add_parser(
+        "merge",
+        help="union shard metrics streams (and optionally caches)",
+    )
+    merge_p.add_argument(
+        "--out", required=True, help="merged stream to write"
+    )
+    merge_p.add_argument(
+        "streams", nargs="+", help="shard stream files to merge"
+    )
+    merge_p.add_argument(
+        "--caches",
+        default=None,
+        help="comma-separated shard cache dirs to union (with --cache-out)",
+    )
+    merge_p.add_argument(
+        "--cache-out",
+        default=None,
+        help="cache dir the union of --caches is written into",
+    )
+    agg_p = camp_sub.add_parser(
+        "aggregate",
+        help="render the campaign summary table from a metrics stream",
+    )
+    agg_p.add_argument(
+        "--stream", required=True, help="metrics stream to aggregate"
+    )
     camp_p.add_argument(
         "--spec",
         default=None,
@@ -182,6 +226,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated mobility-model grid "
         f"(registry models: {','.join(available_models())})",
     )
+    camp_p.add_argument(
+        "--protocol-param",
+        action="append",
+        default=None,
+        metavar="NAME=V1,V2,...",
+        help="sweep a protocol-config field over the listed values "
+        "(repeatable; the cartesian product of all --protocol-param "
+        "axes is applied to every --protocols entry)",
+    )
     camp_p.add_argument("--messages", type=int, default=None)
     camp_p.add_argument("--sim-time", type=float, default=None)
     camp_p.add_argument("--storage-limit", type=int, default=None)
@@ -193,6 +246,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     camp_p.add_argument("--workers", type=int, default=1)
     camp_p.add_argument("--cache-dir", default=None)
+    camp_p.add_argument(
+        "--stream",
+        default=None,
+        help="append per-task metrics to this JSONL stream; tasks "
+        "already recorded there are skipped on resume",
+    )
+    camp_p.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        help="run only this shard of the campaign (0-based; "
+        "requires --shard-count and --stream)",
+    )
+    camp_p.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        help="total number of shards the campaign is split into",
+    )
     camp_p.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress"
     )
@@ -259,6 +331,54 @@ def _csv(text: str, convert: Callable) -> tuple:
     )
 
 
+def _param_value(text: str) -> bool | int | float | str:
+    """A protocol-param value: bool, int, float, or bare string."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def _expand_protocol_params(
+    protocols: tuple[str, ...], entries: list[str]
+) -> tuple[ProtocolConfig, ...]:
+    """The protocol axis: every protocol x every param combination.
+
+    Each ``--protocol-param name=v1,v2`` entry is one sweep axis; the
+    cartesian product of all axes is applied to every listed protocol.
+    Validation (unknown field, bad value, protocol that takes no
+    parameters) happens inside :class:`ProtocolConfig` at build time.
+    """
+    axes: list[tuple[str, tuple]] = []
+    for entry in entries:
+        name, sep, values_text = entry.partition("=")
+        name = name.strip()
+        values = _csv(values_text, _param_value)
+        if not sep or not name or not values:
+            raise ValueError(
+                f"--protocol-param needs the form name=v1,v2,..., "
+                f"got {entry!r}"
+            )
+        if len(set(values)) != len(values):
+            raise ValueError(
+                f"--protocol-param {name} has duplicate values"
+            )
+        if any(name == seen for seen, _ in axes):
+            raise ValueError(f"--protocol-param {name} given twice")
+        axes.append((name, values))
+    names = [name for name, _ in axes]
+    return tuple(
+        ProtocolConfig.of(protocol, **dict(zip(names, combo)))
+        for protocol in protocols
+        for combo in itertools.product(*(values for _, values in axes))
+    )
+
+
 def _reject_conflicting_shape_flags(
     args: argparse.Namespace, source: str, composing: str
 ) -> None:
@@ -276,6 +396,7 @@ def _reject_conflicting_shape_flags(
             ("--radii", args.radii),
             ("--node-counts", args.node_counts),
             ("--mobility", args.mobility),
+            ("--protocol-param", args.protocol_param),
             ("--messages", args.messages),
             ("--sim-time", args.sim_time),
             ("--storage-limit", args.storage_limit),
@@ -300,7 +421,9 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
                 "sets sim_time/message_count in its base"
             )
         _reject_conflicting_shape_flags(
-            args, "--spec", "--seed/--replicates/--workers/--cache-dir"
+            args,
+            "--spec",
+            "--seed/--replicates/--workers/--cache-dir/--stream/--shard-*",
         )
         spec = CampaignSpec.from_dict(
             json.loads(Path(args.spec).read_text(encoding="utf-8"))
@@ -316,7 +439,10 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     replicates = args.replicates if args.replicates is not None else 3
     if args.suite is not None:
         _reject_conflicting_shape_flags(
-            args, "--suite", "--seed/--replicates/--effort/--workers/--cache-dir"
+            args,
+            "--suite",
+            "--seed/--replicates/--effort/--workers/--cache-dir"
+            "/--stream/--shard-*",
         )
         return build_suite(
             args.suite,
@@ -330,7 +456,11 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
             "take --messages/--sim-time directly"
         )
     name = args.name if args.name is not None else "campaign"
-    protocols = _csv(args.protocols, str) if args.protocols else ("glr",)
+    protocols: tuple = (
+        _csv(args.protocols, str) if args.protocols else ("glr",)
+    )
+    if args.protocol_param:
+        protocols = _expand_protocol_params(protocols, args.protocol_param)
     overrides: dict = {"seed": seed}
     if args.messages is not None:
         overrides["message_count"] = args.messages
@@ -358,21 +488,78 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     )
 
 
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    if (args.caches is None) != (args.cache_out is None):
+        raise ValueError("--caches and --cache-out must be given together")
+    info = merge_streams(args.out, args.streams)
+    print(
+        f"merged {len(args.streams)} streams -> {args.out}: "
+        f"{len(info.records)} task records "
+        f"(spec hash {info.spec_hash[:12]})"
+    )
+    if info.quarantined:
+        print(
+            f"warning: skipped {info.quarantined} undecodable stream "
+            f"line(s) — those tasks are missing from the merge; re-run "
+            f"the affected shard with its stream to recompute them",
+            file=sys.stderr,
+        )
+    if args.caches is not None:
+        copied = merge_caches(args.cache_out, _csv(args.caches, str))
+        print(f"cache union -> {args.cache_out}: {copied} entries copied")
+    return 0
+
+
+def _cmd_campaign_aggregate(args: argparse.Namespace) -> int:
+    result = campaign_result_from_stream(args.stream)
+    print(result.render())
+    if result.stream_damaged:
+        print(
+            f"warning: {result.stream_damaged} undecodable stream "
+            f"line(s) skipped — the runs column shows what each cell "
+            f"actually aggregates",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    action = getattr(args, "campaign_action", None)
+    if action == "merge":
+        return _cmd_campaign_merge(args)
+    if action == "aggregate":
+        return _cmd_campaign_aggregate(args)
+
+    if (args.shard_index is None) != (args.shard_count is None):
+        raise ValueError(
+            "--shard-index and --shard-count must be given together"
+        )
+    if args.shard_index is not None and args.stream is None:
+        raise ValueError(
+            "sharded campaigns need --stream: the shard's metrics "
+            "stream is what `repro campaign merge` unions"
+        )
     spec = _campaign_spec_from_args(args)
     n_scenarios = len(spec.scenarios())
     total = n_scenarios * len(spec.protocols) * spec.replicates
+    shard = (
+        f"; shard {args.shard_index + 1}/{args.shard_count} runs its "
+        f"subset of them"
+        if args.shard_index is not None
+        else ""
+    )
     print(
         f"campaign {spec.name}: {n_scenarios} scenarios x "
         f"{len(spec.protocols)} protocols x {spec.replicates} replicates "
-        f"= {total} simulations ({args.workers} workers)"
+        f"= {total} simulations ({args.workers} workers{shard})"
     )
 
     def progress(event: TaskProgress) -> None:
-        source = "cache" if event.cached else "ran"
+        source = event.source or ("cache" if event.cached else "ran")
         print(
             f"[{event.done}/{event.total}] {event.task.scenario.name} "
-            f"{event.task.protocol} #{event.task.replicate} ({source})"
+            f"{event.task.protocol_label} #{event.task.replicate} "
+            f"({source})"
         )
 
     result = run_campaign(
@@ -380,6 +567,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         progress=None if args.quiet else progress,
+        stream_path=args.stream,
+        shard_index=args.shard_index,
+        shard_count=args.shard_count,
     )
     print()
     print(result.render())

@@ -10,15 +10,20 @@ from repro.experiments.campaign import (
     ReplicateSpec,
     ReplicateTask,
     ResultCache,
+    campaign_result_from_stream,
+    campaign_spec_hash,
+    merge_caches,
     run_campaign,
     run_replicate_specs,
 )
+from repro.experiments.protocols import ProtocolConfig, as_protocol_config
 from repro.experiments.runner import (
     available_protocols,
     build_world,
     run_replicates,
     run_single,
 )
+from repro.experiments.stream import StreamError, load_stream, merge_streams
 from repro.experiments.scenarios import PAPER_TABLE1, Scenario
 from repro.experiments.suites import (
     available_suites,
@@ -31,16 +36,24 @@ __all__ = [
     "PAPER_TABLE1",
     "CampaignResult",
     "CampaignSpec",
+    "ProtocolConfig",
     "ReplicateSpec",
     "ReplicateTask",
     "ResultCache",
     "Scenario",
+    "StreamError",
     "WorkloadSpec",
+    "as_protocol_config",
     "available_protocols",
     "available_suites",
     "build_suite",
     "build_world",
+    "campaign_result_from_stream",
+    "campaign_spec_hash",
     "generate_workload",
+    "load_stream",
+    "merge_caches",
+    "merge_streams",
     "run_campaign",
     "run_replicate_specs",
     "run_replicates",

@@ -1,11 +1,11 @@
-"""Campaign engine: parallel replicated sweeps with a resumable cache.
+"""Campaign engine v2: parallel, shardable sweeps with streamed metrics.
 
-The paper's evaluation is a grid — scenarios x protocols x replicate
-seeds — and every figure/table driver walks some slice of that grid.
-This module is the one place that executes such grids:
+The paper's evaluation is a grid — scenarios x protocol configs x
+replicate seeds — and every figure/table driver walks some slice of
+that grid.  This module is the one place that executes such grids:
 
 - :class:`ReplicateSpec` describes one grid cell (a scenario, a
-  protocol, per-protocol configs, and a replicate count); it expands to
+  protocol variant, and a replicate count); it expands to
   :class:`ReplicateTask` leaves whose seeds come from
   :func:`repro.seeding.replicate_seed`, the same rule the serial
   reference path uses, so parallel results are bit-identical to serial.
@@ -14,14 +14,24 @@ This module is the one place that executes such grids:
   runs them inline (``workers == 1``, the reference behaviour).
 - :class:`ResultCache` is a content-addressed on-disk JSON store keyed
   by the code-relevant task parameters (scenario fields minus the
-  display name, protocol, configs, seed, cache format version), so an
-  interrupted campaign resumes where it stopped and repeated benches
-  skip finished work.  Corrupt or partial entries are detected and
-  recomputed, never silently loaded.
+  display name, protocol + protocol config, seed, cache format
+  version), so an interrupted campaign resumes where it stopped and
+  repeated benches skip finished work.  Corrupt or partial entries are
+  detected and recomputed, never silently loaded.
 - :class:`CampaignSpec` is the declarative top layer: a base scenario,
-  a field grid, protocols, and a replicate count.  :func:`run_campaign`
-  executes it and aggregates with :mod:`repro.analysis.aggregate` /
-  :mod:`repro.analysis.ci`.
+  a field grid, a protocol axis
+  (:class:`~repro.experiments.protocols.ProtocolConfig` values —
+  protocol variants with swept config fields), and a replicate count.
+  :func:`run_campaign` executes it and aggregates with
+  :mod:`repro.analysis.aggregate` / :mod:`repro.analysis.ci`.
+- A campaign can **stream** per-task metrics to an append-only JSONL
+  file (:mod:`repro.experiments.stream`) and can run as one **shard**
+  of a multi-machine sweep (``shard_index``/``shard_count``; tasks are
+  partitioned by content key via :func:`repro.seeding.stable_shard`).
+  Shard streams merge with :func:`~repro.experiments.stream
+  .merge_streams` and aggregate with
+  :func:`campaign_result_from_stream` — bit-identically to an
+  unsharded run.
 """
 
 from __future__ import annotations
@@ -31,29 +41,66 @@ import hashlib
 import itertools
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
-from repro.analysis.aggregate import MetricSummary, summarize_metrics
+from repro.analysis.aggregate import MetricSummary, summarize_cells
 from repro.analysis.render import render_table
 from repro.baselines.epidemic import EpidemicConfig
 from repro.baselines.spray_and_wait import SprayAndWaitConfig
 from repro.core.protocol import GLRConfig
 from repro.experiments.common import ci_of, fmt_ci
+from repro.experiments.protocols import ProtocolConfig, as_protocol_config
 from repro.experiments.runner import available_protocols, run_single
 from repro.experiments.scenarios import Scenario
+from repro.experiments.stream import (
+    append_record,
+    init_stream,
+    load_stream,
+    make_task_record,
+    merge_streams,
+)
 from repro.mobility.registry import MobilityConfig, as_mobility_config
-from repro.seeding import replicate_seed
+from repro.mobility.traces import trace_file_digest
+from repro.seeding import replicate_seed, stable_shard
 from repro.sim.stats import SimulationMetrics
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CampaignResult",
+    "CampaignSpec",
+    "ReplicateSpec",
+    "ReplicateTask",
+    "ResultCache",
+    "TaskProgress",
+    "campaign_result_from_stream",
+    "campaign_spec_hash",
+    "execute_tasks",
+    "merge_caches",
+    "merge_streams",
+    "run_campaign",
+    "run_replicate_specs",
+    "task_key",
+    "task_payload",
+]
 
 #: Bump whenever simulation semantics change in a way that invalidates
 #: previously cached metrics (it is part of every cache key).
 #: 2: Scenario grew the ``mobility`` field (cache keys now cover the
 #:    movement model configuration).
-CACHE_FORMAT = 2
+#: 3: tasks grew the ``protocol_config`` axis, and trace mobility keys
+#:    switched from the path string to the file's content hash.  v2
+#:    entries for tasks unaffected by either change (no protocol
+#:    config, no trace mobility) are migrated on read — see
+#:    :meth:`ResultCache.load`.
+CACHE_FORMAT = 3
+
+#: The previous format, still readable via the migration path.
+_LEGACY_CACHE_FORMAT = 2
 
 
 # ---------------------------------------------------------------------------
@@ -71,6 +118,14 @@ class ReplicateTask:
     epidemic_config: EpidemicConfig | None = None
     spray_config: SprayAndWaitConfig | None = None
     buffer_limit: int | None = None
+    protocol_config: ProtocolConfig | None = None
+
+    @property
+    def protocol_label(self) -> str:
+        """The reporting label: ``glr`` or ``glr(custody=False)``."""
+        if self.protocol_config is not None and self.protocol_config.params:
+            return str(self.protocol_config)
+        return self.protocol
 
 
 @dataclass(frozen=True)
@@ -84,10 +139,39 @@ class ReplicateSpec:
     epidemic_config: EpidemicConfig | None = None
     spray_config: SprayAndWaitConfig | None = None
     buffer_limit: int | None = None
+    protocol_config: ProtocolConfig | None = None
 
     def __post_init__(self) -> None:
         if self.runs < 1:
             raise ValueError("need at least one run")
+        if self.protocol_config is not None:
+            # Coerce strings / mappings so specs can name variants
+            # directly, and catch config conflicts at spec build time
+            # rather than inside a worker mid-campaign.
+            object.__setattr__(
+                self,
+                "protocol_config",
+                as_protocol_config(self.protocol_config),
+            )
+            if self.protocol_config.protocol != self.protocol:
+                raise ValueError(
+                    f"protocol config {self.protocol_config} does not "
+                    f"match spec protocol {self.protocol!r}"
+                )
+            if (
+                self.glr_config is not None
+                or self.epidemic_config is not None
+                or self.spray_config is not None
+            ):
+                raise ValueError(
+                    "pass either protocol_config or a concrete "
+                    "glr/epidemic/spray config, not both"
+                )
+            if not self.protocol_config.params:
+                # A paramless config IS the bare protocol; normalising
+                # to None keeps the cache key and stream identity
+                # identical whichever way the spec was written.
+                object.__setattr__(self, "protocol_config", None)
 
     def tasks(self) -> list[ReplicateTask]:
         """Expand to seeded per-replicate tasks (deterministic order)."""
@@ -102,6 +186,7 @@ class ReplicateSpec:
                 epidemic_config=self.epidemic_config,
                 spray_config=self.spray_config,
                 buffer_limit=self.buffer_limit,
+                protocol_config=self.protocol_config,
             )
             for i in range(self.runs)
         ]
@@ -132,17 +217,64 @@ def _canonical(value: object) -> object:
     raise TypeError(f"cannot canonicalise {type(value).__name__} for cache key")
 
 
+def _is_trace_mobility(scenario: Scenario) -> bool:
+    return scenario.mobility is not None and scenario.mobility.model == "trace"
+
+
+def _canonical_scenario(task: ReplicateTask, content_hash: bool) -> dict:
+    """The scenario part of a cache key payload.
+
+    With ``content_hash`` (the v3 behaviour), trace mobility is keyed
+    on the trace *file content* instead of its path string: editing a
+    trace in place invalidates cached simulations, while renaming or
+    copying an identical file still hits.
+    """
+    scenario = _canonical(task.scenario)
+    scenario.pop("name", None)
+    if content_hash and _is_trace_mobility(task.scenario):
+        params = dict(scenario["mobility"]["params"])
+        path = params.pop("path", None)
+        if path is not None:
+            params["content_sha256"] = trace_file_digest(path)
+        scenario["mobility"]["params"] = sorted(
+            [k, v] for k, v in params.items()
+        )
+    return scenario
+
+
 def task_payload(task: ReplicateTask) -> dict:
     """The code-relevant parameters a task's cache key is built from.
 
     The scenario's display ``name`` is excluded so renaming a sweep
     does not invalidate its cached simulations.
     """
-    scenario = _canonical(task.scenario)
-    scenario.pop("name", None)
     return {
         "format": CACHE_FORMAT,
-        "scenario": scenario,
+        "scenario": _canonical_scenario(task, content_hash=True),
+        "protocol": task.protocol,
+        "glr_config": _canonical(task.glr_config),
+        "epidemic_config": _canonical(task.epidemic_config),
+        "spray_config": _canonical(task.spray_config),
+        "buffer_limit": task.buffer_limit,
+        "protocol_config": _canonical(task.protocol_config),
+    }
+
+
+def legacy_task_payload(task: ReplicateTask) -> dict | None:
+    """The v2 (``CACHE_FORMAT == 2``) payload of a task, if one exists.
+
+    Only tasks untouched by the v3 key changes have a legacy identity:
+    no protocol config, and no trace mobility (v2 keyed traces on the
+    path string, which says nothing about the file's content — those
+    entries are untrustworthy by construction and are never migrated).
+    """
+    if task.protocol_config is not None:
+        return None
+    if _is_trace_mobility(task.scenario):
+        return None
+    return {
+        "format": _LEGACY_CACHE_FORMAT,
+        "scenario": _canonical_scenario(task, content_hash=False),
         "protocol": task.protocol,
         "glr_config": _canonical(task.glr_config),
         "epidemic_config": _canonical(task.epidemic_config),
@@ -151,50 +283,37 @@ def task_payload(task: ReplicateTask) -> dict:
     }
 
 
-def task_key(task: ReplicateTask) -> str:
-    """Content hash addressing one task's cached metrics."""
-    blob = json.dumps(
-        task_payload(task), sort_keys=True, separators=(",", ":")
-    )
+def _payload_key(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-_METRIC_FIELDS = frozenset(
-    f.name for f in dataclasses.fields(SimulationMetrics)
-)
+def task_key(task: ReplicateTask) -> str:
+    """Content hash addressing one task's cached metrics."""
+    return _payload_key(task_payload(task))
 
 
-def _decode_metrics(payload: object, task: ReplicateTask) -> SimulationMetrics | None:
+def legacy_task_key(task: ReplicateTask) -> str | None:
+    """The v2-era content hash of a task, or ``None`` (no v2 identity)."""
+    payload = legacy_task_payload(task)
+    return _payload_key(payload) if payload is not None else None
+
+
+def _decode_metrics(
+    payload: object,
+    task: ReplicateTask,
+    expected_format: int = CACHE_FORMAT,
+) -> SimulationMetrics | None:
     """Rebuild metrics from a cache payload; ``None`` if anything is off."""
     if not isinstance(payload, dict):
         return None
-    if payload.get("format") != CACHE_FORMAT:
-        return None
-    data = payload.get("metrics")
-    if not isinstance(data, dict) or set(data) != _METRIC_FIELDS:
-        return None
-    data = dict(data)
-    peaks = data.get("per_node_peak_storage")
-    latencies = data.get("latencies")
-    hops = data.get("hop_counts")
-    if not isinstance(peaks, dict):
-        return None
-    if not isinstance(latencies, list) or not isinstance(hops, list):
+    if payload.get("format") != expected_format:
         return None
     try:
-        data["per_node_peak_storage"] = {
-            int(k): int(v) for k, v in peaks.items()
-        }
-        data["latencies"] = [float(v) for v in latencies]
-        data["hop_counts"] = [int(v) for v in hops]
-        metrics = SimulationMetrics(**data)
-    except (TypeError, ValueError):
+        metrics = SimulationMetrics.from_json(payload.get("metrics"))
+    except ValueError:
         return None
     if metrics.protocol != task.protocol:
-        return None
-    if not isinstance(metrics.messages_created, int):
-        return None
-    if not isinstance(metrics.delivery_ratio, (int, float)):
         return None
     return metrics
 
@@ -214,20 +333,54 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        # Key derivation is a full canonical JSON dump + sha256 (plus
+        # a stat for trace mobility); load+store on a miss would pay
+        # it twice per task without this memo.
+        self._key_memo: dict[ReplicateTask, str] = {}
+
+    def _key(self, task: ReplicateTask) -> str:
+        if _is_trace_mobility(task.scenario):
+            # Trace keys hash the trace *file*, which can change under
+            # a long-lived cache; memoising would pin the stale key and
+            # defeat the content-hash invalidation.
+            return task_key(task)
+        key = self._key_memo.get(task)
+        if key is None:
+            key = task_key(task)
+            self._key_memo[task] = key
+        return key
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (existing or not)."""
         return self.root / key[:2] / f"{key}.json"
 
-    def load(self, task: ReplicateTask) -> SimulationMetrics | None:
-        """Cached metrics for ``task``, or ``None`` (counted as a miss)."""
-        path = self.path_for(task_key(task))
+    def _read(self, key: str) -> object | None:
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            return json.loads(
+                self.path_for(key).read_text(encoding="utf-8")
+            )
         except (OSError, ValueError, UnicodeDecodeError):
-            self.misses += 1
             return None
-        metrics = _decode_metrics(payload, task)
+
+    def load(self, task: ReplicateTask) -> SimulationMetrics | None:
+        """Cached metrics for ``task``, or ``None`` (counted as a miss).
+
+        Falls back to the task's v2-era key when the v3 entry is
+        missing (read-path migration): a valid legacy entry is
+        re-stored under the current key so the next lookup is a direct
+        hit, and old caches keep their value across the format bump.
+        """
+        metrics = _decode_metrics(self._read(self._key(task)), task)
+        if metrics is None:
+            legacy_key = legacy_task_key(task)
+            if legacy_key is not None:
+                metrics = _decode_metrics(
+                    self._read(legacy_key),
+                    task,
+                    expected_format=_LEGACY_CACHE_FORMAT,
+                )
+                if metrics is not None:
+                    self.store(task, metrics)
         if metrics is None:
             self.misses += 1
             return None
@@ -236,12 +389,14 @@ class ResultCache:
 
     def store(self, task: ReplicateTask, metrics: SimulationMetrics) -> None:
         """Atomically persist ``metrics`` under ``task``'s key."""
-        path = self.path_for(task_key(task))
+        path = self.path_for(self._key(task))
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "format": CACHE_FORMAT,
             "key": task_payload(task),
-            "metrics": dataclasses.asdict(metrics),
+            # The same canonical serialisation the load path validates
+            # with from_json (and the metrics stream writes).
+            "metrics": metrics.to_json(),
         }
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(
@@ -267,9 +422,21 @@ class TaskProgress:
     total: int
     task: ReplicateTask
     cached: bool
+    #: Where the result came from: ``"ran"``, ``"cache"``, or
+    #: ``"stream"`` (already recorded in a metrics stream and skipped).
+    source: str = ""
 
 
 ProgressCallback = Callable[[TaskProgress], None]
+
+#: ``record(index, task, metrics, cached, wall_time_s)`` — called once
+#: per finished task (the metrics-stream hook); ``index`` is the task's
+#: position in the list handed to :func:`execute_tasks`, so callers can
+#: correlate results with precomputed per-task state (cache keys)
+#: without relying on object identity.
+RecordCallback = Callable[
+    [int, ReplicateTask, SimulationMetrics, bool, float], None
+]
 
 
 def _run_task(task: ReplicateTask) -> SimulationMetrics:
@@ -281,7 +448,19 @@ def _run_task(task: ReplicateTask) -> SimulationMetrics:
         epidemic_config=task.epidemic_config,
         spray_config=task.spray_config,
         buffer_limit=task.buffer_limit,
+        protocol_config=task.protocol_config,
     )
+
+
+def _run_task_timed(task: ReplicateTask) -> tuple[SimulationMetrics, float]:
+    """Simulate one task, returning (metrics, wall seconds).
+
+    Timed inside the worker so the wall time measures the simulation,
+    not pool queueing.
+    """
+    start = time.perf_counter()
+    metrics = _run_task(task)
+    return metrics, time.perf_counter() - start
 
 
 def execute_tasks(
@@ -289,12 +468,15 @@ def execute_tasks(
     workers: int = 1,
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
+    record: RecordCallback | None = None,
 ) -> list[SimulationMetrics]:
     """Run every task, in input order, using cache and process pool.
 
     Each task is an independent simulation with a pre-derived seed, so
     the result list is identical whatever ``workers`` is; parallelism
-    only changes wall-clock time.
+    only changes wall-clock time.  ``record`` (if given) is called once
+    per finished task with its metrics and wall time, in completion
+    order — the hook the campaign metrics stream appends through.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -305,14 +487,28 @@ def execute_tasks(
         nonlocal done
         done += 1
         if progress is not None:
-            progress(TaskProgress(done, len(tasks), tasks[index], cached))
+            progress(
+                TaskProgress(
+                    done,
+                    len(tasks),
+                    tasks[index],
+                    cached,
+                    source="cache" if cached else "ran",
+                )
+            )
+
+    def finish(index: int, metrics: SimulationMetrics,
+               cached: bool, wall: float) -> None:
+        results[index] = metrics
+        if record is not None:
+            record(index, tasks[index], metrics, cached, wall)
+        tick(index, cached=cached)
 
     pending: list[int] = []
     for i, task in enumerate(tasks):
         metrics = cache.load(task) if cache is not None else None
         if metrics is not None:
-            results[i] = metrics
-            tick(i, cached=True)
+            finish(i, metrics, cached=True, wall=0.0)
         else:
             pending.append(i)
 
@@ -320,22 +516,20 @@ def execute_tasks(
         pool_size = min(workers, len(pending))
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
             futures = {
-                pool.submit(_run_task, tasks[i]): i for i in pending
+                pool.submit(_run_task_timed, tasks[i]): i for i in pending
             }
             for future in as_completed(futures):
                 i = futures[future]
-                metrics = future.result()
+                metrics, wall = future.result()
                 if cache is not None:
                     cache.store(tasks[i], metrics)
-                results[i] = metrics
-                tick(i, cached=False)
+                finish(i, metrics, cached=False, wall=wall)
     else:
         for i in pending:
-            metrics = _run_task(tasks[i])
+            metrics, wall = _run_task_timed(tasks[i])
             if cache is not None:
                 cache.store(tasks[i], metrics)
-            results[i] = metrics
-            tick(i, cached=False)
+            finish(i, metrics, cached=False, wall=wall)
 
     return [r for r in results if r is not None]
 
@@ -375,23 +569,33 @@ _SCENARIO_FIELDS = frozenset(f.name for f in dataclasses.fields(Scenario))
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """A declarative sweep: base scenario x field grid x protocols.
+    """A declarative sweep: base scenario x field grid x protocol axis.
 
     ``grid`` is an ordered tuple of ``(scenario_field, values)`` pairs;
     the campaign runs the cartesian product of all value axes, each
-    combination under every protocol, ``replicates`` times.  Grid
-    scenarios are named ``<name>/<field>=<value>,...`` for reporting.
+    combination under every protocol variant, ``replicates`` times.
+    Grid scenarios are named ``<name>/<field>=<value>,...`` for
+    reporting.
 
     A ``mobility`` axis sweeps movement models: its values may be model
     names (``"gauss-markov"``), mappings, or
     :class:`~repro.mobility.registry.MobilityConfig` objects — all are
     coerced on construction so the cache keys on the resolved config.
+
+    ``protocols`` is likewise an axis of *protocol variants*: names
+    (``"glr"``), mappings, or
+    :class:`~repro.experiments.protocols.ProtocolConfig` values with
+    swept config fields (``ProtocolConfig.of("glr", custody=False)``).
+    All are coerced and validated on construction, so a typo'd or
+    out-of-range config parameter fails at spec load, not mid-campaign.
+    Variants with parameters are labelled ``glr(custody=False)`` in
+    results.
     """
 
     name: str
     base: Scenario = field(default_factory=Scenario)
     grid: tuple[tuple[str, tuple], ...] = ()
-    protocols: tuple[str, ...] = ("glr",)
+    protocols: tuple = ("glr",)
     replicates: int = 3
     buffer_limit: int | None = None
 
@@ -400,11 +604,22 @@ class CampaignSpec:
             raise ValueError("need at least one replicate")
         if not self.protocols:
             raise ValueError("need at least one protocol")
+        object.__setattr__(
+            self,
+            "protocols",
+            tuple(as_protocol_config(p) for p in self.protocols),
+        )
+        if len(set(self.protocols)) != len(self.protocols):
+            # Duplicate variants would produce identically labelled
+            # cells that silently overwrite each other in the result
+            # map ("glr" and ProtocolConfig.of("glr") are the same).
+            raise ValueError("protocol axis has duplicate variants")
         known = available_protocols()
-        for protocol in self.protocols:
-            if protocol not in known:
+        for config in self.protocols:
+            if config.protocol not in known:
                 raise ValueError(
-                    f"unknown protocol {protocol!r}; choose from {known}"
+                    f"unknown protocol {config.protocol!r}; "
+                    f"choose from {known}"
                 )
         if any(fname == "mobility" for fname, _ in self.grid):
             # Coerce before validation so name strings / mappings
@@ -444,18 +659,47 @@ class CampaignSpec:
             )
         return scenarios
 
+    def cells(self) -> list[tuple[Scenario, ProtocolConfig]]:
+        """Every (scenario, protocol variant) cell, in sweep order."""
+        return [
+            (scenario, config)
+            for scenario in self.scenarios()
+            for config in self.protocols
+        ]
+
+    def cell_label(
+        self, scenario: Scenario, config: ProtocolConfig
+    ) -> tuple[str, str]:
+        """The reporting key of one cell: (scenario name, protocol label)."""
+        return (scenario.name, str(config))
+
+    def cell_specs(self) -> list[tuple[tuple[str, str], ReplicateSpec]]:
+        """(cell label, :class:`ReplicateSpec`) pairs, in sweep order.
+
+        The single expansion point: labels and specs come out of one
+        loop, so consumers never have to keep two independently built
+        lists index-aligned.
+        """
+        return [
+            (
+                self.cell_label(scenario, config),
+                ReplicateSpec(
+                    scenario=scenario,
+                    protocol=config.protocol,
+                    runs=self.replicates,
+                    buffer_limit=self.buffer_limit,
+                    # ReplicateSpec normalises a paramless config to
+                    # None itself, keeping task identities equal
+                    # however the cell is spelled.
+                    protocol_config=config,
+                ),
+            )
+            for scenario, config in self.cells()
+        ]
+
     def specs(self) -> list[ReplicateSpec]:
         """One :class:`ReplicateSpec` per (scenario, protocol) cell."""
-        return [
-            ReplicateSpec(
-                scenario=scenario,
-                protocol=protocol,
-                runs=self.replicates,
-                buffer_limit=self.buffer_limit,
-            )
-            for scenario in self.scenarios()
-            for protocol in self.protocols
-        ]
+        return [cell_spec for _, cell_spec in self.cell_specs()]
 
     def total_tasks(self) -> int:
         """Number of simulation leaves the campaign expands to."""
@@ -472,14 +716,24 @@ class CampaignSpec:
         return {
             "name": self.name,
             "base": base,
-            "grid": {
-                fname: [
-                    v.to_json() if isinstance(v, MobilityConfig) else v
-                    for v in values
+            # An ordered list of [field, values] pairs, not an object:
+            # JSON consumers (the stream header encodes with sorted
+            # keys) must not be able to reorder the sweep axes, which
+            # would rename every grid cell.
+            "grid": [
+                [
+                    fname,
+                    [
+                        v.to_json() if isinstance(v, MobilityConfig) else v
+                        for v in values
+                    ],
                 ]
                 for fname, values in self.grid
-            },
-            "protocols": list(self.protocols),
+            ],
+            "protocols": [
+                p.to_json() if p.params else p.protocol
+                for p in self.protocols
+            ],
             "replicates": self.replicates,
             "buffer_limit": self.buffer_limit,
         }
@@ -490,9 +744,12 @@ class CampaignSpec:
 
         ``base`` holds :class:`Scenario` field overrides (``region`` as
         a ``[width, height]`` pair, ``mobility`` as a model name or
-        ``{"model": ..., "params": {...}}`` mapping); ``grid`` maps
-        scenario fields to value lists — a ``mobility`` axis takes the
-        same name/mapping forms.
+        ``{"model": ..., "params": {...}}`` mapping); ``grid`` is
+        either a mapping of scenario fields to value lists (hand-written
+        specs) or an ordered list of ``[field, values]`` pairs (the
+        :meth:`to_dict` form) — a ``mobility`` axis takes the same
+        name/mapping forms, and ``protocols`` entries may be names or
+        ``{"protocol": ..., "params": {...}}`` mappings.
         """
         from repro.mobility.base import Region
 
@@ -503,9 +760,12 @@ class CampaignSpec:
         if "region" in base_overrides:
             width, height = base_overrides["region"]
             base_overrides["region"] = Region(float(width), float(height))
+        grid_doc = data.get("grid", {})
+        grid_pairs = (
+            grid_doc.items() if isinstance(grid_doc, Mapping) else grid_doc
+        )
         grid = tuple(
-            (fname, tuple(values))
-            for fname, values in dict(data.get("grid", {})).items()
+            (fname, tuple(values)) for fname, values in grid_pairs
         )
         return cls(
             name=str(data.get("name", "campaign")),
@@ -526,33 +786,48 @@ class CampaignResult:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_enabled: bool = False
+    #: Tasks skipped because a metrics stream already recorded them.
+    stream_hits: int = 0
+    #: Undecodable stream lines skipped when this result was rebuilt
+    #: from a stream (read-only paths never repair; non-zero means
+    #: some tasks' records were unreadable and are missing here).
+    stream_damaged: int = 0
 
     def summaries(self) -> dict[tuple[str, str], MetricSummary]:
         """90% CI summary per (scenario name, protocol) cell."""
-        return {
-            cell: summarize_metrics(runs)
-            for cell, runs in self.metrics.items()
-        }
+        return summarize_cells(self.metrics)
 
     def cache_line(self) -> str:
         """Human-readable cache statistics for progress output."""
+        stream = (
+            f"; stream: {self.stream_hits} tasks resumed"
+            if self.stream_hits
+            else ""
+        )
         if not self.cache_enabled:
-            return "cache: disabled"
+            return f"cache: disabled{stream}"
         total = self.cache_hits + self.cache_misses
         rate = 100.0 * self.cache_hits / total if total else 0.0
         return (
             f"cache: {self.cache_hits} hits, {self.cache_misses} misses "
-            f"({rate:.1f}% hit rate)"
+            f"({rate:.1f}% hit rate){stream}"
         )
 
     def render(self) -> str:
-        """Paper-style summary table of every campaign cell."""
+        """Paper-style summary table of every campaign cell.
+
+        The ``runs`` column shows how many replicates each cell's
+        statistics actually aggregate — on a shard run or a partial
+        stream it is less than the spec's replicate count, so half the
+        data can never silently read as the full result.
+        """
         rows = []
         for (scenario_name, protocol), runs in self.metrics.items():
             rows.append(
                 [
                     scenario_name,
                     protocol,
+                    str(len(runs)),
                     fmt_ci(ci_of(runs, "delivery_ratio"), digits=3),
                     fmt_ci(ci_of(runs, "average_latency")),
                     fmt_ci(ci_of(runs, "average_hops"), digits=2),
@@ -564,6 +839,7 @@ class CampaignResult:
             [
                 "scenario",
                 "protocol",
+                "runs",
                 "delivery_ratio",
                 "latency_s",
                 "hops",
@@ -573,26 +849,264 @@ class CampaignResult:
         )
 
 
+def campaign_spec_hash(spec: CampaignSpec) -> str:
+    """Content hash identifying a campaign spec (stream/shard identity).
+
+    Two shard runs belong to the same campaign exactly when their spec
+    hashes match; :func:`~repro.experiments.stream.merge_streams`
+    refuses anything else.  The hash covers the full declarative spec
+    plus :data:`CACHE_FORMAT`, so a simulator-semantics bump separates
+    streams the same way it separates caches.
+    """
+    blob = json.dumps(
+        {"format": CACHE_FORMAT, "spec": spec.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: One expanded campaign leaf: (cell label, task, content key).  The
+#: key is derived once per task here and reused for shard selection,
+#: stream resume, stream records, and the final stream rebuild —
+#: task_key is a full canonical JSON dump + sha256 (plus a stat for
+#: trace mobility), too expensive to recompute per use.
+_CampaignEntry = tuple[tuple[str, str], ReplicateTask, str]
+
+
+def _select_shard(
+    entries: list[_CampaignEntry],
+    shard_index: int | None,
+    shard_count: int | None,
+) -> list[_CampaignEntry]:
+    if (shard_index is None) != (shard_count is None):
+        raise ValueError(
+            "shard_index and shard_count must be given together"
+        )
+    if shard_count is None:
+        return entries
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard_index must be in [0, {shard_count}), got {shard_index}"
+        )
+    return [
+        entry
+        for entry in entries
+        if stable_shard(entry[2], shard_count) == shard_index
+    ]
+
+
 def run_campaign(
     spec: CampaignSpec,
     workers: int = 1,
     cache_dir: str | Path | None = None,
     progress: ProgressCallback | None = None,
+    stream_path: str | Path | None = None,
+    shard_index: int | None = None,
+    shard_count: int | None = None,
 ) -> CampaignResult:
-    """Execute a declarative campaign and aggregate its grid."""
+    """Execute a declarative campaign and aggregate its grid.
+
+    With ``stream_path``, every finished task appends one JSONL record
+    to the campaign's metrics stream, tasks already recorded there are
+    skipped entirely (stream resume), and the returned result is built
+    *from the stream* — the stream is the source of truth, not
+    in-memory state.  With ``shard_index``/``shard_count``, only this
+    shard's deterministic subset of tasks runs (partitioned by content
+    key via :func:`repro.seeding.stable_shard`); shard streams are
+    merged with :func:`~repro.experiments.stream.merge_streams` and
+    aggregated with :func:`campaign_result_from_stream`.
+    """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    cell_specs = spec.specs()
-    per_cell = run_replicate_specs(
-        cell_specs, workers=workers, cache=cache, progress=progress
+    # Entry keys feed shard selection and the stream (resume map,
+    # records, rebuild); when neither is in play, skip the derivation
+    # entirely (the cache memoises its own).
+    need_keys = stream_path is not None or shard_count is not None
+    entries: list[_CampaignEntry] = []
+    for label, cell_spec in spec.cell_specs():
+        entries.extend(
+            (label, task, task_key(task) if need_keys else "")
+            for task in cell_spec.tasks()
+        )
+    entries = _select_shard(entries, shard_index, shard_count)
+
+    recorded: dict[str, dict] = {}
+    record: RecordCallback | None = None
+    if stream_path is not None:
+        spec_hash = campaign_spec_hash(spec)
+        info = init_stream(stream_path, spec_hash, spec.to_dict())
+        recorded = {r["key"]: r for r in info.records}
+
+        def record(index: int, task: ReplicateTask,
+                   metrics: SimulationMetrics,
+                   cached: bool, wall: float) -> None:
+            append_record(
+                stream_path,
+                make_task_record(
+                    # pending is what execute_tasks runs, in order, so
+                    # the callback index addresses its precomputed key.
+                    key=pending[index][2],
+                    scenario=task.scenario.name,
+                    protocol=task.protocol_label,
+                    replicate=task.replicate,
+                    seed=task.scenario.seed,
+                    metrics_json=metrics.to_json(),
+                    cached=cached,
+                    wall_time_s=wall,
+                ),
+            )
+
+    pending: list[_CampaignEntry] = []
+    stream_hits = 0
+    done = 0
+    total = len(entries)
+    for label, task, key in entries:
+        if recorded and key in recorded:
+            stream_hits += 1
+            done += 1
+            if progress is not None:
+                progress(
+                    TaskProgress(
+                        done, total, task, cached=True, source="stream"
+                    )
+                )
+        else:
+            pending.append((label, task, key))
+
+    def shifted_progress(event: TaskProgress) -> None:
+        if progress is not None:
+            progress(
+                dataclasses.replace(
+                    event, done=event.done + stream_hits, total=total
+                )
+            )
+
+    executed = execute_tasks(
+        [task for _, task, _ in pending],
+        workers=workers,
+        cache=cache,
+        progress=shifted_progress if progress is not None else None,
+        record=record,
     )
-    metrics = {
-        (cell.scenario.name, cell.protocol): runs
-        for cell, runs in zip(cell_specs, per_cell)
-    }
+
+    metrics: dict[tuple[str, str], list[SimulationMetrics]] = {}
+    if stream_path is not None:
+        # Aggregation consumes the stream: reload it so the result is
+        # exactly what a later `campaign aggregate` would see.  No
+        # repair here — our own records are fsync'd and complete, and
+        # deleting someone else's in-flight line is the resume path's
+        # call, not ours.
+        info = load_stream(
+            stream_path, campaign_spec_hash(spec), quarantine=False
+        )
+        by_key = {r["key"]: r for r in info.records}
+        for label, _, key in entries:
+            metrics.setdefault(label, []).append(
+                SimulationMetrics.from_json(by_key[key]["metrics"])
+            )
+    else:
+        # execute_tasks preserves input order, so results line up with
+        # the pending entries one-to-one.
+        for (label, _, _), run_metrics in zip(pending, executed):
+            metrics.setdefault(label, []).append(run_metrics)
+
     return CampaignResult(
         spec=spec,
         metrics=metrics,
         cache_hits=cache.hits if cache is not None else 0,
         cache_misses=cache.misses if cache is not None else 0,
         cache_enabled=cache is not None,
+        stream_hits=stream_hits,
     )
+
+
+def campaign_result_from_stream(
+    stream_path: str | Path,
+) -> CampaignResult:
+    """Rebuild a campaign's aggregate purely from its metrics stream.
+
+    The stream header carries the full spec document, so this works on
+    a different machine than the one that ran the campaign — the
+    decoupling sharded sweeps rely on: shards stream, one place merges
+    and aggregates.  Cells are ordered exactly as the live campaign
+    orders them, so a complete stream renders byte-identically to the
+    run that produced it.
+    """
+    # Read-only: never repair a stream another process may be writing.
+    info = load_stream(stream_path, quarantine=False)
+    spec = CampaignSpec.from_dict(info.header["spec"])
+    if campaign_spec_hash(spec) != info.spec_hash:
+        raise ValueError(
+            f"stream {stream_path} header is inconsistent: its spec "
+            f"document does not hash to its spec_hash"
+        )
+    by_cell: dict[tuple[str, str], list[dict]] = {}
+    for record in info.records:
+        cell = (record["scenario"], record["protocol"])
+        by_cell.setdefault(cell, []).append(record)
+    known_cells = [
+        spec.cell_label(scenario, config)
+        for scenario, config in spec.cells()
+    ]
+    metrics: dict[tuple[str, str], list[SimulationMetrics]] = {}
+    for cell in known_cells:
+        records = by_cell.pop(cell, None)
+        if not records:
+            continue  # a shard stream covers only part of the grid
+        records.sort(key=lambda r: r["replicate"])
+        replicates = [r["replicate"] for r in records]
+        if len(set(replicates)) != len(replicates):
+            # Two records for one (cell, replicate) under different
+            # task keys means the stream holds multiple *generations*
+            # of the campaign (e.g. a trace file edited in place, keys
+            # rehashed, tasks rerun into the same stream).  There is no
+            # way to know which generation is current from the stream
+            # alone; aggregating both would silently skew the CIs.
+            raise ValueError(
+                f"stream {stream_path} holds multiple records for cell "
+                f"{cell} at the same replicate index — superseded task "
+                f"generations; rerun the campaign with a fresh stream"
+            )
+        metrics[cell] = [
+            SimulationMetrics.from_json(r["metrics"]) for r in records
+        ]
+    if by_cell:
+        raise ValueError(
+            f"stream {stream_path} has records for cells the spec does "
+            f"not define: {sorted(by_cell)[:3]}"
+        )
+    return CampaignResult(
+        spec=spec,
+        metrics=metrics,
+        stream_hits=len(info.records),
+        stream_damaged=info.quarantined,
+    )
+
+
+def merge_caches(
+    out_dir: str | Path, in_dirs: Sequence[str | Path]
+) -> int:
+    """Union shard result caches into ``out_dir``; returns entries copied.
+
+    Entries are content-addressed, so a union is just copying files the
+    target does not have yet; existing entries win (they are identical
+    by construction when keys collide).
+    """
+    copied = 0
+    out_root = Path(out_dir)
+    for in_dir in in_dirs:
+        root = Path(in_dir)
+        if not root.is_dir():
+            raise ValueError(f"cache dir {root} does not exist")
+        for entry in sorted(root.glob("*/*.json")):
+            target = out_root / entry.parent.name / entry.name
+            if target.exists():
+                continue
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+            tmp.write_bytes(entry.read_bytes())
+            os.replace(tmp, target)
+            copied += 1
+    return copied

@@ -18,6 +18,7 @@ from repro.baselines.spray_and_wait import (
     SprayAndWaitProtocol,
 )
 from repro.core.protocol import GLRConfig, GLRProtocol
+from repro.experiments.protocols import ProtocolConfig
 from repro.experiments.scenarios import Scenario
 from repro.experiments.workload import generate_workload
 from repro.mobility.base import MobilityModel
@@ -48,7 +49,36 @@ def _protocol_factory(
     epidemic_config: EpidemicConfig | None,
     spray_config: SprayAndWaitConfig | None,
     buffer_limit: int | None,
+    protocol_config: ProtocolConfig | None = None,
 ) -> Callable[[object], Protocol]:
+    receipts_config = None
+    if protocol_config is not None:
+        # A declarative ProtocolConfig (campaign protocol axis) is an
+        # alternative to passing a concrete config object; accepting
+        # both would make it ambiguous which one a run keyed on.
+        if protocol_config.protocol != protocol:
+            raise ValueError(
+                f"protocol config is for {protocol_config.protocol!r}, "
+                f"but the run requests {protocol!r}"
+            )
+        if (
+            glr_config is not None
+            or epidemic_config is not None
+            or spray_config is not None
+        ):
+            raise ValueError(
+                "pass either protocol_config or a concrete "
+                "glr/epidemic/spray config, not both"
+            )
+        built = protocol_config.build()
+        if protocol == "glr":
+            glr_config = built
+        elif protocol == "epidemic":
+            epidemic_config = built
+        elif protocol == "spray_and_wait":
+            spray_config = built
+        elif protocol == "epidemic_receipts":
+            receipts_config = built
     if protocol == "glr":
         config = glr_config if glr_config is not None else GLRConfig()
         if buffer_limit is not None and config.storage_limit is None:
@@ -65,9 +95,15 @@ def _protocol_factory(
             ReceiptEpidemicProtocol,
         )
 
-        receipt_config = ReceiptEpidemicConfig(
-            buffer_limit=buffer_limit
+        receipt_config = (
+            receipts_config
+            if receipts_config is not None
+            else ReceiptEpidemicConfig()
         )
+        if buffer_limit is not None and receipt_config.buffer_limit is None:
+            receipt_config = dataclasses.replace(
+                receipt_config, buffer_limit=buffer_limit
+            )
         return lambda node: ReceiptEpidemicProtocol(receipt_config)
     if protocol == "direct":
         return lambda node: DirectDeliveryProtocol(buffer_limit=buffer_limit)
@@ -115,6 +151,7 @@ def build_world(
     epidemic_config: EpidemicConfig | None = None,
     spray_config: SprayAndWaitConfig | None = None,
     buffer_limit: int | None = None,
+    protocol_config: ProtocolConfig | None = None,
 ) -> World:
     """Assemble a world for ``scenario`` running ``protocol`` everywhere."""
     node_ids = list(range(scenario.n_nodes))
@@ -128,7 +165,12 @@ def build_world(
         seed=scenario.seed,
     )
     factory = _protocol_factory(
-        protocol, glr_config, epidemic_config, spray_config, buffer_limit
+        protocol,
+        glr_config,
+        epidemic_config,
+        spray_config,
+        buffer_limit,
+        protocol_config=protocol_config,
     )
     world = World(mobility, factory, world_config)
     for spec in generate_workload(scenario):
@@ -148,6 +190,7 @@ def run_single(
     epidemic_config: EpidemicConfig | None = None,
     spray_config: SprayAndWaitConfig | None = None,
     buffer_limit: int | None = None,
+    protocol_config: ProtocolConfig | None = None,
 ) -> SimulationMetrics:
     """Run one simulation to the scenario horizon."""
     world = build_world(
@@ -157,6 +200,7 @@ def run_single(
         epidemic_config=epidemic_config,
         spray_config=spray_config,
         buffer_limit=buffer_limit,
+        protocol_config=protocol_config,
     )
     return world.run(until=scenario.sim_time, protocol_name=protocol)
 

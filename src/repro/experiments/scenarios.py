@@ -74,6 +74,14 @@ class Scenario:
             raise ValueError("need 0 <= min_speed <= max_speed")
         if self.message_count < 0:
             raise ValueError("message count must be non-negative")
+        if self.message_interval <= 0:
+            raise ValueError("message interval must be positive")
+        if self.message_start < 0:
+            raise ValueError("message start must be non-negative")
+        if self.payload_bytes < 1:
+            raise ValueError("payload must be at least one byte")
+        if self.data_rate_bps <= 0:
+            raise ValueError("data rate must be positive")
         if not 2 <= self.active_nodes <= self.n_nodes:
             raise ValueError("active_nodes must be in [2, n_nodes]")
         if self.sim_time <= 0:

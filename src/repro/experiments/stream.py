@@ -1,0 +1,336 @@
+"""Streamed per-task campaign metrics: append-only JSONL files.
+
+A campaign *stream* is the durable record of a campaign run: one JSON
+line per finished simulation task, preceded by a header line carrying
+the campaign spec and its content hash.  Streams replace monolithic
+whole-campaign JSON results — each task appends its own record the
+moment it finishes, so
+
+- a killed campaign has lost nothing but the task that was in flight;
+- a resumed campaign skips every task already recorded;
+- shard runs on different machines each write their own stream, and
+  :func:`merge_streams` unions them into one (refusing streams built
+  from different specs and deduplicating overlap by task key);
+- aggregation (:func:`repro.experiments.campaign
+  .campaign_result_from_stream`) consumes the stream, not in-memory
+  state, so "run" and "report" fully decouple.
+
+Appends are crash-safe, not transactional: each record is a single
+``write`` of one ``\\n``-terminated line followed by a flush+fsync, so
+the only possible damage from a crash or a full disk is a torn *tail*.
+:func:`load_stream` detects any undecodable line, moves the raw bytes
+to a ``<stream>.quarantined`` sidecar, and atomically rewrites the
+stream with the surviving records — a resume then recomputes exactly
+the quarantined tasks.
+
+Record schema (``kind == "task"``)::
+
+    {"kind": "task", "key": <task content hash>,
+     "scenario": <cell scenario name>, "protocol": <protocol label>,
+     "replicate": <int>, "seed": <int>, "cached": <bool>,
+     "wall_time_s": <float>, "metrics": {<SimulationMetrics JSON>}}
+
+Header (first line, ``kind == "header"``)::
+
+    {"kind": "header", "format": 1, "spec_hash": <sha256 hex>,
+     "spec": {<CampaignSpec JSON document>}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.sim.stats import SimulationMetrics
+
+#: Bump when the stream record schema changes incompatibly.
+STREAM_FORMAT = 1
+
+#: Fields every task record must carry to be loadable.
+_TASK_FIELDS = frozenset(
+    {"key", "scenario", "protocol", "replicate", "metrics"}
+)
+
+
+class StreamError(ValueError):
+    """A stream file is unusable as a whole (bad header, wrong spec)."""
+
+
+@dataclass(frozen=True)
+class StreamInfo:
+    """A loaded stream: its header, task records, and repair count."""
+
+    path: Path
+    header: dict
+    records: list[dict]
+    quarantined: int = 0
+
+    @property
+    def spec_hash(self) -> str:
+        """The campaign spec hash the stream was built from."""
+        return self.header["spec_hash"]
+
+    def keys(self) -> set[str]:
+        """Task content keys already recorded in the stream."""
+        return {record["key"] for record in self.records}
+
+
+def _encode_line(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def make_header(spec_hash: str, spec_doc: dict) -> dict:
+    """The header record for a new stream."""
+    return {
+        "kind": "header",
+        "format": STREAM_FORMAT,
+        "spec_hash": spec_hash,
+        "spec": spec_doc,
+    }
+
+
+def make_task_record(
+    key: str,
+    scenario: str,
+    protocol: str,
+    replicate: int,
+    seed: int,
+    metrics_json: dict,
+    cached: bool,
+    wall_time_s: float,
+) -> dict:
+    """One task's stream record."""
+    return {
+        "kind": "task",
+        "key": key,
+        "scenario": scenario,
+        "protocol": protocol,
+        "replicate": replicate,
+        "seed": seed,
+        "cached": cached,
+        "wall_time_s": wall_time_s,
+        "metrics": metrics_json,
+    }
+
+
+def init_stream(
+    path: str | Path, spec_hash: str, spec_doc: dict
+) -> StreamInfo:
+    """Open a stream for appending: create it, or validate and repair.
+
+    A missing or empty file gets a fresh header.  An existing stream is
+    loaded (quarantining any torn tail) and must carry ``spec_hash`` —
+    appending records of one campaign to another campaign's stream is
+    refused rather than silently mixing incomparable results.
+    """
+    target = Path(path)
+    if target.exists() and target.stat().st_size > 0:
+        return load_stream(target, expected_spec_hash=spec_hash)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    header = make_header(spec_hash, spec_doc)
+    _atomic_write(target, [header])
+    return StreamInfo(path=target, header=header, records=[])
+
+
+def append_record(path: str | Path, record: dict) -> None:
+    """Append one record, crash-safely.
+
+    One line, one ``write``, then flush+fsync: a crash can tear only
+    the final line, which the next :func:`load_stream` quarantines.
+    """
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(_encode_line(record))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _parse_line(line: str) -> dict | None:
+    """A validated record, or ``None`` for anything undecodable."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    kind = record.get("kind")
+    if kind == "header":
+        if record.get("format") != STREAM_FORMAT:
+            return None
+        if not isinstance(record.get("spec_hash"), str):
+            return None
+        if not isinstance(record.get("spec"), dict):
+            return None
+        return record
+    if kind == "task":
+        if not _TASK_FIELDS <= set(record):
+            return None
+        try:
+            # Validate as strictly as the aggregation that will consume
+            # the record.  A line that decodes as JSON but carries an
+            # unusable metrics payload must count as damage *here* —
+            # otherwise resume would trust its key, skip the task, and
+            # every later rebuild would fail on it forever.
+            SimulationMetrics.from_json(record.get("metrics"))
+        except ValueError:
+            return None
+        return record
+    return None
+
+
+def load_stream(
+    path: str | Path,
+    expected_spec_hash: str | None = None,
+    quarantine: bool = True,
+) -> StreamInfo:
+    """Load a stream, quarantining undecodable lines.
+
+    The common damage is a torn tail from a crash mid-append; any line
+    that does not decode into a valid record is moved (raw) to
+    ``<stream>.quarantined`` and the stream is atomically rewritten
+    with the surviving records, so the quarantined tasks simply rerun
+    on resume.  A missing/invalid header or a ``spec_hash`` mismatch
+    raises :class:`StreamError` — that is not damage, it is the wrong
+    file.
+
+    Pass ``quarantine=False`` on read-only paths (aggregation, merge):
+    when the stream's campaign is still running, a reader can catch the
+    final line mid-append, and repairing would *delete* a record whose
+    writer completes it a moment later.  Only the stream's own writer
+    (the resume path) should repair.
+    """
+    target = Path(path)
+    try:
+        text = target.read_text(encoding="utf-8", errors="surrogateescape")
+    except OSError as exc:
+        raise StreamError(f"cannot read stream {target}: {exc}") from exc
+
+    header: dict | None = None
+    records: list[dict] = []
+    bad_lines: list[str] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = _parse_line(line)
+        if record is None:
+            bad_lines.append(line)
+        elif record["kind"] == "header":
+            if header is None:
+                header = record
+            else:
+                # A second header is noise (e.g. a botched manual cat).
+                bad_lines.append(line)
+        else:
+            records.append(record)
+
+    if header is None:
+        raise StreamError(
+            f"stream {target} has no valid header line; not a campaign "
+            f"stream (or format {STREAM_FORMAT} mismatch)"
+        )
+    if (
+        expected_spec_hash is not None
+        and header["spec_hash"] != expected_spec_hash
+    ):
+        raise StreamError(
+            f"stream {target} was built from spec hash "
+            f"{header['spec_hash'][:12]}..., expected "
+            f"{expected_spec_hash[:12]}...; refusing to mix campaigns"
+        )
+
+    if bad_lines and quarantine:
+        sidecar = target.with_name(target.name + ".quarantined")
+        with open(sidecar, "a", encoding="utf-8",
+                  errors="surrogateescape") as handle:
+            for line in bad_lines:
+                handle.write(line + "\n")
+        _atomic_write(target, [header, *records])
+
+    return StreamInfo(
+        path=target,
+        header=header,
+        records=records,
+        quarantined=len(bad_lines),
+    )
+
+
+def _atomic_write(path: Path, records: Sequence[dict]) -> None:
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(_encode_line(record))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _record_sort_key(record: dict) -> tuple:
+    return (
+        record["scenario"],
+        record["protocol"],
+        record["replicate"],
+        record["key"],
+    )
+
+
+def merge_streams(
+    out_path: str | Path, in_paths: Sequence[str | Path]
+) -> StreamInfo:
+    """Union shard streams into one, deduplicating by task key.
+
+    All inputs must carry the same spec hash (shards of one campaign);
+    anything else raises :class:`StreamError` naming the offending
+    file.  Overlapping shards are fine — duplicate keys collapse to one
+    record, but two records claiming the same key with *different*
+    metrics mean the shards disagree about a simulation and the merge
+    refuses rather than pick a winner.  Duplicates that agree on
+    metrics may still differ in provenance (``wall_time_s``, ``cached``
+    — one shard simulated the task, another cache-resumed it); the
+    lexicographically smallest encoded record wins, so together with
+    the (scenario, protocol, replicate, key) output sort, merging the
+    same shards in any order produces byte-identical files.
+    """
+    if not in_paths:
+        raise StreamError("nothing to merge: no input streams")
+    # Read-only with respect to the inputs: a shard stream may still be
+    # live (its campaign appending); repair belongs to the writer's
+    # resume path, not to a reader that might catch a line mid-append.
+    infos = [load_stream(p, quarantine=False) for p in in_paths]
+    first = infos[0]
+    for info in infos[1:]:
+        if info.spec_hash != first.spec_hash:
+            raise StreamError(
+                f"cannot merge {info.path} (spec hash "
+                f"{info.spec_hash[:12]}...) into a merge of {first.path} "
+                f"(spec hash {first.spec_hash[:12]}...); shards must come "
+                f"from the same campaign spec"
+            )
+    by_key: dict[str, dict] = {}
+    for info in infos:
+        for record in info.records:
+            existing = by_key.get(record["key"])
+            if existing is None:
+                by_key[record["key"]] = record
+            elif existing["metrics"] != record["metrics"]:
+                raise StreamError(
+                    f"shards disagree on task {record['key'][:12]}... "
+                    f"({record['scenario']} {record['protocol']} "
+                    f"#{record['replicate']}); refusing to merge "
+                    f"conflicting metrics"
+                )
+            elif _encode_line(record) < _encode_line(existing):
+                by_key[record["key"]] = record
+    merged = sorted(by_key.values(), key=_record_sort_key)
+    target = Path(out_path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(target, [first.header, *merged])
+    return StreamInfo(
+        path=target,
+        header=first.header,
+        records=merged,
+        # Undecodable lines skipped across the inputs: the caller
+        # should surface this — those tasks are absent from the merge.
+        quarantined=sum(info.quarantined for info in infos),
+    )

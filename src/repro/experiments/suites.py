@@ -23,6 +23,7 @@ from typing import Callable, Mapping
 
 from repro.experiments.campaign import CampaignSpec
 from repro.experiments.common import BENCH_EFFORT, Effort
+from repro.experiments.protocols import ProtocolConfig
 from repro.experiments.scenarios import Scenario
 from repro.mobility.registry import MobilityConfig
 
@@ -137,6 +138,37 @@ def _suite_urban_grid(
     )
 
 
+def _suite_mobility_x_protocol(
+    seed: int, replicates: int, effort: Effort
+) -> CampaignSpec:
+    """Joint mobility x protocol-config grid (custody, check interval).
+
+    The trade-off surface DTN evaluations must cover: the same protocol
+    under different configurations, under contrasting movement
+    patterns, in one cached sweep.
+    """
+    return CampaignSpec(
+        name="mobility-x-protocol",
+        base=_base("mobility-x-protocol", seed, effort),
+        grid=(
+            (
+                "mobility",
+                (
+                    MobilityConfig.of("random_waypoint"),
+                    MobilityConfig.of("gauss_markov"),
+                ),
+            ),
+        ),
+        protocols=(
+            ProtocolConfig.of("glr"),
+            ProtocolConfig.of("glr", custody=False),
+            ProtocolConfig.of("glr", check_interval=1.8),
+            ProtocolConfig.of("spray_and_wait", initial_copies=4),
+        ),
+        replicates=replicates,
+    )
+
+
 #: Suite name -> builder(seed, replicates, effort) -> CampaignSpec.
 SUITES: dict[str, Callable[[int, int, Effort], CampaignSpec]] = {
     "paper-table1": _suite_paper_table1,
@@ -144,6 +176,7 @@ SUITES: dict[str, Callable[[int, int, Effort], CampaignSpec]] = {
     "sparse-dtn": _suite_sparse_dtn,
     "convoy": _suite_convoy,
     "urban-grid": _suite_urban_grid,
+    "mobility-x-protocol": _suite_mobility_x_protocol,
 }
 
 

@@ -34,6 +34,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.graphs.udg import NodeId
 from repro.mobility.base import MobilityModel, Region
+from repro.params import ParamValue, canonicalise_params, normalize_name
 from repro.mobility.gauss_markov import GaussMarkovMobility
 from repro.mobility.manhattan import ManhattanGridMobility
 from repro.mobility.random_walk import RandomWalkMobility
@@ -42,13 +43,7 @@ from repro.mobility.rpgm import ReferencePointGroupMobility
 from repro.mobility.static import StaticMobility
 from repro.mobility.traces import TraceMobility, parse_ns2_trace
 
-#: Parameter values a config may carry: scalars only, so configs stay
-#: hashable and canonicalise cleanly into campaign cache keys.
-ParamValue = bool | int | float | str
-
-
-def _normalize(name: str) -> str:
-    return name.strip().lower().replace("-", "_")
+_normalize = normalize_name
 
 
 @dataclass(frozen=True)
@@ -68,24 +63,10 @@ class MobilityConfig:
         if not self.model or not isinstance(self.model, str):
             raise ValueError("mobility model name must be a non-empty string")
         object.__setattr__(self, "model", _normalize(self.model))
-        items = dict(self.params)
-        for key, value in items.items():
-            if not isinstance(key, str):
-                raise ValueError(f"parameter name {key!r} must be a string")
-            if not isinstance(value, (bool, int, float, str)):
-                raise ValueError(
-                    f"parameter {key!r} must be a scalar, got "
-                    f"{type(value).__name__}"
-                )
-            # Integral floats (40.0, e.g. from a JSON spec or Python
-            # literal) normalize to ints so numerically equal configs
-            # canonicalise to the same campaign cache key.
-            if (
-                isinstance(value, float)
-                and value.is_integer()
-                and abs(value) < 2**53
-            ):
-                items[key] = int(value)
+        # Shared rules with ProtocolConfig (repro.params): string
+        # names, scalar values, integral floats collapsed to ints so
+        # numerically equal configs canonicalise to one cache key.
+        items = canonicalise_params(dict(self.params))
         object.__setattr__(self, "params", tuple(sorted(items.items())))
 
     @classmethod
@@ -285,9 +266,11 @@ def _build_trace(
     """Replay an ns-2 scenario file, restricted to the scenario's nodes.
 
     The file may describe more nodes than the scenario uses (the extra
-    trajectories are dropped) but must cover every scenario node.  Note
-    the campaign cache keys on the *path string*, not the file content —
-    clear the cache after editing a trace file in place.
+    trajectories are dropped) but must cover every scenario node.  The
+    campaign cache keys on the file's *content hash*
+    (:func:`repro.mobility.traces.trace_file_digest`), so editing a
+    trace in place invalidates cached simulations and renaming or
+    copying an identical file still hits.
     """
     if not path:
         raise ValueError("trace mobility needs a 'path' parameter")

@@ -17,8 +17,11 @@ Everything else (comments, ``set Z_``, blank lines) is ignored.
 from __future__ import annotations
 
 import bisect
+import hashlib
+import os
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -142,6 +145,25 @@ def parse_ns2_trace(path: str | Path) -> dict[NodeId, NodeTrace]:
                 f"node {node} has setdest commands but no initial position"
             )
     return traces
+
+
+@lru_cache(maxsize=256)
+def _digest_for_stat(path: str, size: int, mtime_ns: int) -> str:
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def trace_file_digest(path: str | Path) -> str:
+    """SHA-256 of a trace file's *content* (hex).
+
+    The campaign cache keys trace-driven scenarios on this digest
+    rather than the path string, so editing a trace in place
+    invalidates its cached simulations while renaming or copying an
+    identical file still hits.  Digests are memoised per
+    ``(path, size, mtime)`` so a sweep with thousands of tasks sharing
+    one trace hashes it once.
+    """
+    stat = os.stat(path)
+    return _digest_for_stat(str(path), stat.st_size, stat.st_mtime_ns)
 
 
 def load_ns2_trace(path: str | Path, region: Region) -> TraceMobility:

@@ -9,6 +9,7 @@ string first.
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 
@@ -40,3 +41,18 @@ def replicate_seed(master_seed: int, replicate: int) -> int:
     if replicate < 0:
         raise ValueError("replicate index must be non-negative")
     return master_seed + REPLICATE_SEED_STRIDE * replicate
+
+
+def stable_shard(key: str, shard_count: int) -> int:
+    """The shard (``0 .. shard_count-1``) a content key belongs to.
+
+    Hash-based so the partition depends only on the key itself — not on
+    enumeration order, process, or platform — which lets independently
+    launched shard runs of one campaign split the task set consistently
+    (``repro campaign --shard-index/--shard-count``) and lets a merge
+    detect overlap by task key alone.
+    """
+    if shard_count < 1:
+        raise ValueError("shard count must be >= 1")
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count

@@ -15,6 +15,7 @@ Collects exactly the quantities the paper's evaluation reports:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -48,6 +49,51 @@ class SimulationMetrics:
     per_node_peak_storage: dict[NodeId, int] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)
     hop_counts: list[int] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_json`).
+
+        Round-trips exactly: Python's JSON encoder emits ``repr``-exact
+        floats, so ``from_json(json.loads(json.dumps(m.to_json())))``
+        equals ``m`` bit-for-bit — the property the campaign cache and
+        the JSONL metrics stream both rely on.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: object) -> "SimulationMetrics":
+        """Rebuild metrics from :meth:`to_json` output, strictly.
+
+        Raises :class:`ValueError` when fields are missing, extra, or
+        of the wrong shape, so cache/stream consumers never silently
+        trust a truncated or tampered payload.
+        """
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        if not isinstance(data, dict) or set(data) != field_names:
+            raise ValueError("metrics payload has wrong field set")
+        data = dict(data)
+        peaks = data.get("per_node_peak_storage")
+        latencies = data.get("latencies")
+        hops = data.get("hop_counts")
+        if not isinstance(peaks, dict):
+            raise ValueError("per_node_peak_storage must be a mapping")
+        if not isinstance(latencies, list) or not isinstance(hops, list):
+            raise ValueError("latencies/hop_counts must be lists")
+        try:
+            # JSON object keys are strings; node ids are ints.
+            data["per_node_peak_storage"] = {
+                int(k): int(v) for k, v in peaks.items()
+            }
+            data["latencies"] = [float(v) for v in latencies]
+            data["hop_counts"] = [int(v) for v in hops]
+            metrics = cls(**data)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad metrics payload: {exc}") from exc
+        if not isinstance(metrics.messages_created, int):
+            raise ValueError("messages_created must be an int")
+        if not isinstance(metrics.delivery_ratio, (int, float)):
+            raise ValueError("delivery_ratio must be a number")
+        return metrics
 
 
 class MetricsCollector:

@@ -423,7 +423,7 @@ class TestRunCampaign:
         assert first.cache_misses == spec.total_tasks() == 12
         assert first.cache_hits == 0
         assert set(first.metrics) == {
-            (scenario.name, protocol)
+            (scenario.name, str(protocol))
             for scenario in spec.scenarios()
             for protocol in spec.protocols
         }
@@ -450,3 +450,206 @@ class TestRunCampaign:
         spec = CampaignSpec(name="nocache", base=TINY, replicates=1)
         result = run_campaign(spec)
         assert result.cache_line() == "cache: disabled"
+
+
+class TestProtocolAxis:
+    """The v2 tentpole: protocol-config variants as a sweep axis."""
+
+    def _spec(self):
+        from repro.experiments.protocols import ProtocolConfig
+
+        return CampaignSpec(
+            name="proto",
+            base=TINY,
+            protocols=(
+                "glr",
+                ProtocolConfig.of("glr", custody=False),
+                {"protocol": "epidemic", "params": {"request_batch": 4}},
+            ),
+            replicates=1,
+        )
+
+    def test_protocols_coerced_to_configs(self):
+        from repro.experiments.protocols import ProtocolConfig
+
+        spec = self._spec()
+        assert all(isinstance(p, ProtocolConfig) for p in spec.protocols)
+        labels = [str(p) for p in spec.protocols]
+        assert labels == [
+            "glr",
+            "glr(custody=False)",
+            "epidemic(request_batch=4)",
+        ]
+
+    def test_duplicate_variants_rejected_across_forms(self):
+        from repro.experiments.protocols import ProtocolConfig
+
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(
+                name="dup",
+                base=TINY,
+                protocols=("glr", ProtocolConfig.of("glr")),
+            )
+
+    def test_bad_param_fails_at_spec_load(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            CampaignSpec(
+                name="x",
+                base=TINY,
+                protocols=({"protocol": "glr", "chek_interval": 1.0},),
+            )
+
+    def test_same_protocol_different_configs_distinct_cells(self):
+        spec = self._spec()
+        result = run_campaign(spec)
+        assert set(result.metrics) == {
+            ("proto", "glr"),
+            ("proto", "glr(custody=False)"),
+            ("proto", "epidemic(request_batch=4)"),
+        }
+
+    def test_variant_metrics_match_explicit_config_runs(self):
+        from repro.experiments.protocols import ProtocolConfig
+        from repro.experiments.runner import run_single
+
+        spec = CampaignSpec(
+            name="match",
+            base=TINY,
+            protocols=(ProtocolConfig.of("glr", custody=False),),
+            replicates=1,
+        )
+        result = run_campaign(spec)
+        [[campaign_metrics]] = result.metrics.values()
+        direct = run_single(
+            TINY, "glr", glr_config=GLRConfig(custody=False)
+        )
+        assert metrics_fingerprint(campaign_metrics) == metrics_fingerprint(
+            direct
+        )
+
+    def test_dict_round_trip_with_protocol_params(self):
+        spec = self._spec()
+        document = json.loads(json.dumps(spec.to_dict()))
+        assert CampaignSpec.from_dict(document) == spec
+
+    def test_plain_protocols_serialise_as_strings(self):
+        spec = CampaignSpec(
+            name="plain", base=TINY, protocols=("glr", "epidemic")
+        )
+        assert spec.to_dict()["protocols"] == ["glr", "epidemic"]
+
+    def test_task_keys_distinct_per_variant(self):
+        spec = self._spec()
+        keys = {task_key(t) for s in spec.specs() for t in s.tasks()}
+        assert len(keys) == spec.total_tasks()
+
+    def test_paramless_config_normalises_to_none_in_spec(self):
+        # ReplicateSpec(protocol="glr") and
+        # ReplicateSpec(..., protocol_config=ProtocolConfig.of("glr"))
+        # are the same logical cell; their tasks must share cache keys
+        # and stream identities.
+        from repro.experiments.protocols import ProtocolConfig
+
+        bare = ReplicateSpec(scenario=TINY, protocol="glr", runs=1)
+        via_config = ReplicateSpec(
+            scenario=TINY,
+            protocol="glr",
+            runs=1,
+            protocol_config=ProtocolConfig.of("glr"),
+        )
+        assert via_config.protocol_config is None
+        assert task_key(via_config.tasks()[0]) == task_key(
+            bare.tasks()[0]
+        )
+
+    def test_spec_rejects_protocol_config_plus_concrete_config(self):
+        # The conflict must surface at spec build time, not inside a
+        # worker process mid-campaign.
+        from repro.experiments.protocols import ProtocolConfig
+
+        with pytest.raises(ValueError, match="not both"):
+            ReplicateSpec(
+                scenario=TINY,
+                protocol="glr",
+                glr_config=GLRConfig(custody=False),
+                protocol_config=ProtocolConfig.of("glr", custody=False),
+            )
+
+    def test_bare_variant_tasks_have_no_protocol_config(self):
+        # ProtocolConfig with no params must key identically to the
+        # pre-axis engine (and stay eligible for v2 cache migration).
+        spec = CampaignSpec(
+            name="bare", base=TINY, protocols=("glr",), replicates=1
+        )
+        [cell] = spec.specs()
+        assert cell.protocol_config is None
+        [task] = cell.tasks()
+        assert task.protocol_config is None
+        assert task.protocol_label == "glr"
+
+
+class TestGridOrderRoundTrip:
+    def test_grid_axis_order_survives_sorted_json(self):
+        """Sorted-key JSON encoders must not reorder sweep axes."""
+        spec = CampaignSpec(
+            name="order",
+            base=TINY,
+            # 'radius' sorts after 'message_count'; an object-shaped
+            # grid would flip them and rename every cell.
+            grid=(("radius", (100.0, 150.0)), ("message_count", (2, 4))),
+            replicates=1,
+        )
+        document = json.loads(json.dumps(spec.to_dict(), sort_keys=True))
+        rebuilt = CampaignSpec.from_dict(document)
+        assert rebuilt == spec
+        assert [s.name for s in rebuilt.scenarios()] == [
+            s.name for s in spec.scenarios()
+        ]
+
+    def test_mapping_grid_still_accepted(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "legacy",
+                "base": {"n_nodes": 10, "active_nodes": 5,
+                         "message_count": 2, "sim_time": 15.0},
+                "grid": {"radius": [100.0, 150.0]},
+                "protocols": ["glr"],
+                "replicates": 1,
+            }
+        )
+        assert len(spec.scenarios()) == 2
+
+
+class TestMergeCaches:
+    def test_union_copies_missing_entries(self, tmp_path):
+        from repro.experiments.campaign import merge_caches
+
+        spec = ReplicateSpec(scenario=TINY, protocol="glr", runs=2)
+        tasks = spec.tasks()
+        cache_a = ResultCache(tmp_path / "a")
+        cache_b = ResultCache(tmp_path / "b")
+        execute_tasks(tasks[:1], cache=cache_a)
+        execute_tasks(tasks[1:], cache=cache_b)
+
+        copied = merge_caches(
+            tmp_path / "union", [tmp_path / "a", tmp_path / "b"]
+        )
+        assert copied == 2
+        union = ResultCache(tmp_path / "union")
+        assert union.load(tasks[0]) is not None
+        assert union.load(tasks[1]) is not None
+
+    def test_existing_entries_not_recopied(self, tmp_path):
+        from repro.experiments.campaign import merge_caches
+
+        spec = ReplicateSpec(scenario=TINY, protocol="glr", runs=1)
+        cache = ResultCache(tmp_path / "a")
+        execute_tasks(spec.tasks(), cache=cache)
+        assert merge_caches(tmp_path / "u", [tmp_path / "a"]) == 1
+        assert merge_caches(tmp_path / "u", [tmp_path / "a"]) == 0
+
+    def test_missing_dir_rejected(self, tmp_path):
+        from repro.experiments.campaign import merge_caches
+
+        with pytest.raises(ValueError, match="does not exist"):
+            merge_caches(tmp_path / "u", [tmp_path / "nope"])

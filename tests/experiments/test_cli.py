@@ -357,3 +357,220 @@ class TestMobilityCli:
             ["experiment", "fig1", "--mobility", "gauss-markov"]
         ) == 2
         assert "static-topology" in capsys.readouterr().err
+
+
+class TestCampaignV2Cli:
+    """Protocol-param sweeps, metrics streams, shards, merge/aggregate."""
+
+    def _grid_args(self, **extra):
+        args = [
+            "campaign",
+            "--name",
+            "v2",
+            "--radii",
+            "100,150",
+            "--node-counts",
+            "12",
+            "--protocols",
+            "glr",
+            "--protocol-param",
+            "custody=true,false",
+            "--replicates",
+            "1",
+            "--messages",
+            "3",
+            "--sim-time",
+            "20",
+            "--quiet",
+        ]
+        for flag, value in extra.items():
+            args += [f"--{flag.replace('_', '-')}", str(value)]
+        return args
+
+    def test_protocol_param_expands_the_axis(self, capsys):
+        assert main(self._grid_args()) == 0
+        out = capsys.readouterr().out
+        assert "2 protocols" in out
+        assert "4 simulations" in out
+        assert "glr(custody=True)" in out
+        assert "glr(custody=False)" in out
+
+    def test_protocol_param_value_parsing(self, capsys):
+        # ints, floats, and bools must reach the config as their own
+        # types; a bad field name must exit cleanly.
+        args = [
+            "campaign",
+            "--protocols",
+            "glr",
+            "--protocol-param",
+            "sparse_copies=2,3",
+            "--node-counts",
+            "10",
+            "--replicates",
+            "1",
+            "--messages",
+            "2",
+            "--sim-time",
+            "15",
+            "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "glr(sparse_copies=2)" in out
+
+    def test_bad_protocol_param_exits_2(self, capsys):
+        assert main(["campaign", "--protocol-param", "custody"]) == 2
+        assert "name=v1,v2" in capsys.readouterr().err
+        assert main(["campaign", "--protocol-param", "warp=1,2"]) == 2
+        assert "does not accept" in capsys.readouterr().err
+        assert (
+            main(["campaign", "--protocol-param", "custody=true,true"]) == 2
+        )
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_protocol_param_conflicts_with_suite(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--suite",
+                    "convoy",
+                    "--protocol-param",
+                    "custody=true,false",
+                ]
+            )
+            == 2
+        )
+        assert "--protocol-param" in capsys.readouterr().err
+
+    def test_stream_written_and_resumed(self, capsys, tmp_path):
+        stream = tmp_path / "v2.jsonl"
+        assert main(self._grid_args(stream=stream)) == 0
+        capsys.readouterr()
+        assert stream.exists()
+        assert main(self._grid_args(stream=stream)) == 0
+        out = capsys.readouterr().out
+        assert "stream: 4 tasks resumed" in out
+
+    def test_shard_flags_validated(self, capsys, tmp_path):
+        assert main(self._grid_args(shard_index=0)) == 2
+        assert "together" in capsys.readouterr().err
+        assert (
+            main(self._grid_args(shard_index=0, shard_count=2)) == 2
+        )
+        assert "--stream" in capsys.readouterr().err
+        assert (
+            main(
+                self._grid_args(
+                    shard_index=5,
+                    shard_count=2,
+                    stream=tmp_path / "s.jsonl",
+                )
+            )
+            == 2
+        )
+        assert "shard_index" in capsys.readouterr().err
+
+    def test_sharded_merge_aggregate_matches_unsharded(
+        self, capsys, tmp_path
+    ):
+        full = tmp_path / "full.jsonl"
+        assert main(self._grid_args(stream=full)) == 0
+        capsys.readouterr()
+
+        for index in range(2):
+            assert (
+                main(
+                    self._grid_args(
+                        stream=tmp_path / f"shard{index}.jsonl",
+                        shard_index=index,
+                        shard_count=2,
+                    )
+                )
+                == 0
+            )
+        capsys.readouterr()
+
+        merged = tmp_path / "merged.jsonl"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "merge",
+                    "--out",
+                    str(merged),
+                    str(tmp_path / "shard0.jsonl"),
+                    str(tmp_path / "shard1.jsonl"),
+                ]
+            )
+            == 0
+        )
+        assert "merged 2 streams" in capsys.readouterr().out
+
+        assert main(["campaign", "aggregate", "--stream", str(merged)]) == 0
+        merged_table = capsys.readouterr().out
+        assert main(["campaign", "aggregate", "--stream", str(full)]) == 0
+        full_table = capsys.readouterr().out
+        assert merged_table == full_table
+        assert "glr(custody=False)" in merged_table
+
+    def test_merge_refuses_mismatched_specs(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        assert main(self._grid_args(stream=a)) == 0
+        other = self._grid_args(stream=b)
+        other[other.index("--radii") + 1] = "100,200"
+        assert main(other) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "campaign",
+                    "merge",
+                    "--out",
+                    str(tmp_path / "m.jsonl"),
+                    str(a),
+                    str(b),
+                ]
+            )
+            == 2
+        )
+        assert "same campaign spec" in capsys.readouterr().err
+
+    def test_merge_cache_union_flags_must_pair(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        assert main(self._grid_args(stream=a)) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "campaign",
+                    "merge",
+                    "--out",
+                    str(tmp_path / "m.jsonl"),
+                    str(a),
+                    "--caches",
+                    "x,y",
+                ]
+            )
+            == 2
+        )
+        assert "--cache-out" in capsys.readouterr().err
+
+    def test_aggregate_missing_stream_exits_2(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "aggregate",
+                    "--stream",
+                    str(tmp_path / "nope.jsonl"),
+                ]
+            )
+            == 2
+        )
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_suite_mobility_x_protocol_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "mobility-x-protocol" in capsys.readouterr().out

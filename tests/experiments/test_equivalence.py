@@ -1,0 +1,404 @@
+"""Golden determinism/equivalence harness for campaign engine v2.
+
+Locks down the properties every v2 surface must preserve:
+
+- serial, parallel, and sharded-then-merged executions of one campaign
+  are bit-identical per (scenario, protocol, seed);
+- a default-protocol v2 campaign reproduces the v1 serial reference
+  path (``run_replicates`` / ``run_single``, unchanged since the seed)
+  on probe scenarios;
+- stream-rebuilt aggregates equal live aggregates, byte for byte;
+- v2-format cache entries migrate to v3 keys on read;
+- trace mobility cache keys follow file *content*, not the path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.campaign import (
+    CACHE_FORMAT,
+    CampaignSpec,
+    ReplicateSpec,
+    ReplicateTask,
+    ResultCache,
+    campaign_result_from_stream,
+    campaign_spec_hash,
+    execute_tasks,
+    legacy_task_key,
+    run_campaign,
+    task_key,
+)
+from repro.experiments.protocols import ProtocolConfig
+from repro.experiments.runner import run_replicates, run_single
+from repro.experiments.scenarios import Scenario
+from repro.experiments.stream import merge_streams
+from repro.mobility.base import Region
+from repro.mobility.registry import MobilityConfig
+from repro.seeding import replicate_seed, stable_shard
+
+TINY = Scenario(
+    name="tiny",
+    n_nodes=10,
+    active_nodes=5,
+    radius=150.0,
+    message_count=2,
+    sim_time=15.0,
+    seed=3,
+)
+
+#: Three scenario/protocol probes spanning the surfaces v1 covered:
+#: the paper RWP default path, a registry mobility model, and a
+#: non-GLR baseline protocol.
+PROBES = (
+    (TINY, "glr"),
+    (TINY.but(name="probe-gm", mobility="gauss-markov", radius=120.0),
+     "glr"),
+    (TINY.but(name="probe-epi", seed=7), "epidemic"),
+)
+
+
+def fingerprint(metrics):
+    return dataclasses.asdict(metrics)
+
+
+def cell_fingerprints(result):
+    return {
+        cell: [fingerprint(m) for m in runs]
+        for cell, runs in result.metrics.items()
+    }
+
+
+@pytest.fixture
+def v2_spec():
+    """A campaign exercising all v2 axes: grid x mobility x protocol."""
+    return CampaignSpec(
+        name="equiv",
+        base=TINY,
+        grid=(
+            ("radius", (120.0, 180.0)),
+            ("mobility", (MobilityConfig.of("random_waypoint"),
+                          MobilityConfig.of("gauss_markov"))),
+        ),
+        protocols=(
+            "glr",
+            ProtocolConfig.of("glr", custody=False),
+        ),
+        replicates=2,
+    )
+
+
+class TestSerialParallelShardEquivalence:
+    def test_serial_equals_parallel_equals_sharded_merged(
+        self, v2_spec, tmp_path
+    ):
+        serial = run_campaign(
+            v2_spec, workers=1, stream_path=tmp_path / "serial.jsonl"
+        )
+        parallel = run_campaign(
+            v2_spec, workers=4, stream_path=tmp_path / "parallel.jsonl"
+        )
+        shards = []
+        for index in range(2):
+            shards.append(
+                run_campaign(
+                    v2_spec,
+                    workers=2,
+                    stream_path=tmp_path / f"shard{index}.jsonl",
+                    shard_index=index,
+                    shard_count=2,
+                )
+            )
+        merge_streams(
+            tmp_path / "merged.jsonl",
+            [tmp_path / "shard0.jsonl", tmp_path / "shard1.jsonl"],
+        )
+        merged = campaign_result_from_stream(tmp_path / "merged.jsonl")
+
+        reference = cell_fingerprints(serial)
+        assert cell_fingerprints(parallel) == reference
+        assert cell_fingerprints(merged) == reference
+        assert merged.render() == serial.render()
+
+    def test_shards_partition_tasks_exactly(self, v2_spec):
+        tasks = [t for s in v2_spec.specs() for t in s.tasks()]
+        assignment = [stable_shard(task_key(t), 3) for t in tasks]
+        assert all(0 <= shard < 3 for shard in assignment)
+        # Every task lands in exactly one shard; together they cover
+        # the whole campaign (partition, not sampling).
+        per_shard = [assignment.count(i) for i in range(3)]
+        assert sum(per_shard) == v2_spec.total_tasks()
+
+    def test_shard_assignment_stable_across_expansion(self, v2_spec):
+        tasks = [t for s in v2_spec.specs() for t in s.tasks()]
+        again = [t for s in v2_spec.specs() for t in s.tasks()]
+        assert [stable_shard(task_key(t), 5) for t in tasks] == [
+            stable_shard(task_key(t), 5) for t in again
+        ]
+
+    def test_bad_shard_arguments_rejected(self, v2_spec, tmp_path):
+        with pytest.raises(ValueError, match="together"):
+            run_campaign(v2_spec, shard_index=0)
+        with pytest.raises(ValueError, match="shard_index"):
+            run_campaign(v2_spec, shard_index=2, shard_count=2)
+        with pytest.raises(ValueError, match="shard_count"):
+            run_campaign(v2_spec, shard_index=0, shard_count=0)
+
+
+class TestV1Reproduction:
+    """Default-protocol v2 campaigns == the pre-PR serial reference."""
+
+    @pytest.mark.parametrize(
+        "scenario,protocol", PROBES,
+        ids=[s.name for s, _ in PROBES],
+    )
+    def test_campaign_reproduces_reference_metrics(
+        self, scenario, protocol, tmp_path
+    ):
+        reference = run_replicates(scenario, protocol, runs=2)
+        spec = CampaignSpec(
+            name=scenario.name,
+            base=scenario,
+            protocols=(protocol,),
+            replicates=2,
+        )
+        result = run_campaign(
+            spec,
+            workers=2,
+            cache_dir=tmp_path / "cache",
+            stream_path=tmp_path / "stream.jsonl",
+        )
+        [runs] = result.metrics.values()
+        assert [fingerprint(m) for m in runs] == [
+            fingerprint(m) for m in reference
+        ]
+
+    def test_replicate_seeds_unchanged_from_v1(self):
+        spec = ReplicateSpec(scenario=TINY, protocol="glr", runs=3)
+        assert [t.scenario.seed for t in spec.tasks()] == [
+            replicate_seed(TINY.seed, i) for i in range(3)
+        ]
+        assert [t.scenario.seed for t in spec.tasks()] == [3, 1003, 2003]
+
+
+class TestStreamAggregationEquivalence:
+    def test_stream_rebuild_equals_live_result(self, v2_spec, tmp_path):
+        live = run_campaign(
+            v2_spec, workers=2, stream_path=tmp_path / "s.jsonl"
+        )
+        rebuilt = campaign_result_from_stream(tmp_path / "s.jsonl")
+        assert cell_fingerprints(rebuilt) == cell_fingerprints(live)
+        assert rebuilt.render() == live.render()
+        assert rebuilt.spec == v2_spec
+
+    def test_stream_resume_skips_everything(self, v2_spec, tmp_path):
+        run_campaign(v2_spec, stream_path=tmp_path / "s.jsonl")
+        resumed = run_campaign(v2_spec, stream_path=tmp_path / "s.jsonl")
+        assert resumed.stream_hits == v2_spec.total_tasks()
+        assert resumed.cache_misses == 0
+
+    def test_aggregate_reads_around_torn_tail_without_repairing(
+        self, v2_spec, tmp_path
+    ):
+        # Aggregation is read-only: on a live stream, the "torn" tail
+        # may be a record some writer is about to finish — report what
+        # is valid, mutate nothing.
+        stream = tmp_path / "s.jsonl"
+        live = run_campaign(v2_spec, stream_path=stream)
+        with open(stream, "a") as handle:
+            handle.write('{"kind": "task", "key": "in-flight')
+        before = stream.read_bytes()
+        rebuilt = campaign_result_from_stream(stream)
+        assert cell_fingerprints(rebuilt) == cell_fingerprints(live)
+        assert stream.read_bytes() == before
+        assert not stream.with_name(stream.name + ".quarantined").exists()
+
+    def test_partial_stream_renders_actual_run_counts(
+        self, v2_spec, tmp_path
+    ):
+        # A single shard's aggregate must not read like the full
+        # campaign: the runs column shows what each cell aggregates.
+        run_campaign(
+            v2_spec,
+            stream_path=tmp_path / "s0.jsonl",
+            shard_index=0,
+            shard_count=2,
+        )
+        partial = campaign_result_from_stream(tmp_path / "s0.jsonl")
+        assert "runs" in partial.render()
+        counts = {len(runs) for runs in partial.metrics.values()}
+        assert counts  # the shard covers something...
+        assert any(
+            len(runs) < v2_spec.replicates
+            for runs in partial.metrics.values()
+        ) or len(partial.metrics) < len(v2_spec.cells())
+
+    def test_aggregate_refuses_superseded_task_generations(
+        self, v2_spec, tmp_path
+    ):
+        # If task keys change under a stream (e.g. a trace file edited
+        # in place), resumed runs append a second generation of
+        # records for the same cells.  Stream-alone aggregation cannot
+        # tell which generation is current and must refuse rather than
+        # mix populations into one CI.
+        import json as jsonlib
+
+        stream = tmp_path / "s.jsonl"
+        run_campaign(v2_spec, stream_path=stream)
+        lines = stream.read_text().splitlines()
+        clone = jsonlib.loads(lines[1])
+        assert clone["kind"] == "task"
+        clone["key"] = "f" * 64  # same cell+replicate, different key
+        with open(stream, "a") as handle:
+            handle.write(jsonlib.dumps(clone) + "\n")
+        with pytest.raises(ValueError, match="superseded"):
+            campaign_result_from_stream(stream)
+
+    def test_spec_hash_sensitive_to_spec_and_format(self, v2_spec):
+        assert campaign_spec_hash(v2_spec) == campaign_spec_hash(v2_spec)
+        bumped = dataclasses.replace(v2_spec, replicates=3)
+        assert campaign_spec_hash(bumped) != campaign_spec_hash(v2_spec)
+
+    def test_spec_survives_header_round_trip(self, v2_spec, tmp_path):
+        run_campaign(
+            v2_spec,
+            stream_path=tmp_path / "s.jsonl",
+            shard_index=0,
+            shard_count=4,
+        )
+        rebuilt = campaign_result_from_stream(tmp_path / "s.jsonl")
+        assert rebuilt.spec == v2_spec
+        assert campaign_spec_hash(rebuilt.spec) == campaign_spec_hash(v2_spec)
+
+
+class TestCacheFormatMigration:
+    def _task(self):
+        return ReplicateSpec(
+            scenario=TINY, protocol="glr", runs=1
+        ).tasks()[0]
+
+    def test_v2_entry_migrates_on_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._task()
+        [metrics] = execute_tasks([task], cache=cache)
+
+        # Rewrite the entry as a v2-era cache would have stored it:
+        # format 2, no protocol_config field, at the legacy key path.
+        v3_path = cache.path_for(task_key(task))
+        payload = json.loads(v3_path.read_text())
+        payload["format"] = 2
+        payload["key"].pop("protocol_config")
+        payload["key"]["format"] = 2
+        legacy_path = cache.path_for(legacy_task_key(task))
+        legacy_path.parent.mkdir(parents=True, exist_ok=True)
+        legacy_path.write_text(json.dumps(payload))
+        v3_path.unlink()
+
+        fresh = ResultCache(tmp_path)
+        loaded = fresh.load(task)
+        assert loaded == metrics
+        assert fresh.hits == 1 and fresh.misses == 0
+        # ... and the entry was re-stored under the v3 key.
+        assert v3_path.exists()
+        assert json.loads(v3_path.read_text())["format"] == CACHE_FORMAT
+
+    def test_legacy_key_differs_from_v3_key(self):
+        task = self._task()
+        assert legacy_task_key(task) is not None
+        assert legacy_task_key(task) != task_key(task)
+
+    def test_no_legacy_identity_for_v3_only_features(self, tmp_path):
+        with_config = ReplicateTask(
+            TINY, "glr", 0,
+            protocol_config=ProtocolConfig.of("glr", custody=False),
+        )
+        assert legacy_task_key(with_config) is None
+
+        trace_path = tmp_path / "trace.ns2"
+        trace_path.write_text(
+            "$node_(0) set X_ 10.0\n$node_(0) set Y_ 10.0\n"
+        )
+        traced = ReplicateTask(
+            TINY.but(
+                mobility=MobilityConfig.of("trace", path=str(trace_path))
+            ),
+            "glr",
+            0,
+        )
+        assert legacy_task_key(traced) is None
+
+    def test_corrupt_legacy_entry_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._task()
+        legacy_path = cache.path_for(legacy_task_key(task))
+        legacy_path.parent.mkdir(parents=True, exist_ok=True)
+        legacy_path.write_text("{ not json !!!")
+        assert cache.load(task) is None
+        assert cache.misses == 1
+
+
+class TestTraceContentHashKeys:
+    def _write_trace(self, path, x=10.0):
+        path.write_text(
+            f"$node_(0) set X_ {x}\n$node_(0) set Y_ 10.0\n"
+            "$node_(1) set X_ 20.0\n$node_(1) set Y_ 20.0\n"
+        )
+
+    def _task(self, trace_path):
+        scenario = Scenario(
+            name="traced",
+            n_nodes=2,
+            active_nodes=2,
+            region=Region(100.0, 100.0),
+            message_count=1,
+            sim_time=10.0,
+            mobility=MobilityConfig.of("trace", path=str(trace_path)),
+        )
+        return ReplicateTask(scenario, "glr", 0)
+
+    def test_editing_trace_invalidates_key(self, tmp_path):
+        trace = tmp_path / "a.ns2"
+        self._write_trace(trace)
+        before = task_key(self._task(trace))
+        self._write_trace(trace, x=11.0)
+        after = task_key(self._task(trace))
+        assert before != after
+
+    def test_same_content_rename_hits_same_key(self, tmp_path):
+        original = tmp_path / "a.ns2"
+        self._write_trace(original)
+        key = task_key(self._task(original))
+        renamed = tmp_path / "subdir" / "b.ns2"
+        renamed.parent.mkdir()
+        renamed.write_bytes(original.read_bytes())
+        assert task_key(self._task(renamed)) == key
+
+    def test_edited_trace_misses_cache_and_recomputes(self, tmp_path):
+        trace = tmp_path / "a.ns2"
+        self._write_trace(trace)
+        cache = ResultCache(tmp_path / "cache")
+        task = self._task(trace)
+        execute_tasks([task], cache=cache)
+        assert cache.load(task) is not None
+
+        self._write_trace(trace, x=11.0)
+        edited = self._task(trace)
+        assert cache.load(edited) is None
+
+    def test_renamed_trace_resumes_from_cache(self, tmp_path):
+        trace = tmp_path / "a.ns2"
+        self._write_trace(trace)
+        cache = ResultCache(tmp_path / "cache")
+        [metrics] = execute_tasks([self._task(trace)], cache=cache)
+
+        copy = tmp_path / "copy.ns2"
+        copy.write_bytes(trace.read_bytes())
+        assert cache.load(self._task(copy)) == metrics
+
+    def test_missing_trace_file_fails_key_computation(self, tmp_path):
+        task = self._task(tmp_path / "gone.ns2")
+        with pytest.raises(OSError):
+            task_key(task)

@@ -47,6 +47,16 @@ class TestScenario:
         with pytest.raises(ValueError):
             Scenario(sim_time=0.0)
 
+    def test_traffic_fields_validated(self):
+        with pytest.raises(ValueError):
+            Scenario(message_interval=0.0)
+        with pytest.raises(ValueError):
+            Scenario(message_start=-1.0)
+        with pytest.raises(ValueError):
+            Scenario(payload_bytes=0)
+        with pytest.raises(ValueError):
+            Scenario(data_rate_bps=0.0)
+
     def test_speed_pair_validated_at_construction(self):
         # Before the mobility subsystem this only surfaced deep inside
         # RandomWaypointMobility at build_world time.

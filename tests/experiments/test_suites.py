@@ -13,8 +13,6 @@ from repro.experiments.suites import (
     build_suite,
     suite_description,
 )
-from repro.mobility.registry import MobilityConfig
-
 #: Small enough that a whole-suite smoke run finishes in seconds.
 TINY_EFFORT = Effort(runs=1, sim_time=15.0, message_count=2)
 
@@ -108,3 +106,39 @@ class TestSuiteExecution:
         for cell in cold.metrics:
             for a, b in zip(cold.metrics[cell], resumed.metrics[cell]):
                 assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+class TestMobilityXProtocolSuite:
+    def test_present_and_described(self):
+        assert "mobility-x-protocol" in available_suites()
+        assert suite_description("mobility-x-protocol")
+
+    def test_sweeps_protocol_configs_and_mobility_jointly(self):
+        from repro.experiments.protocols import ProtocolConfig
+
+        spec = build_suite("mobility-x-protocol", replicates=2)
+        (field, values), = spec.grid
+        assert field == "mobility"
+        assert len(values) >= 2
+        assert all(isinstance(p, ProtocolConfig) for p in spec.protocols)
+        swept_fields = {
+            name for p in spec.protocols for name, _ in p.params
+        }
+        assert {"custody", "check_interval"} <= swept_fields
+
+    def test_runs_end_to_end_with_cache(self, tmp_path):
+        spec = build_suite(
+            "mobility-x-protocol",
+            replicates=1,
+            effort=TINY_EFFORT,
+            base_overrides=TINY_BASE,
+        )
+        result = run_campaign(spec, workers=2, cache_dir=tmp_path)
+        assert len(result.metrics) == len(spec.scenarios()) * len(
+            spec.protocols
+        )
+        labels = {protocol for _, protocol in result.metrics}
+        assert "glr(custody=False)" in labels
+        assert "glr(check_interval=1.8)" in labels
+        resumed = run_campaign(spec, workers=2, cache_dir=tmp_path)
+        assert resumed.cache_hits == spec.total_tasks()

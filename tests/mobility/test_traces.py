@@ -177,3 +177,26 @@ class TestRoundTrip:
         )
         m = load_ns2_trace(path, Region(100, 100))
         assert m.position(0, 5.0) == Point(10, 20)
+
+
+class TestTraceFileDigest:
+    def test_digest_is_content_based(self, tmp_path):
+        from repro.mobility.traces import trace_file_digest
+
+        a = tmp_path / "a.ns2"
+        a.write_text("$node_(0) set X_ 10.0\n$node_(0) set Y_ 10.0\n")
+        first = trace_file_digest(a)
+        assert first == trace_file_digest(a)
+
+        b = tmp_path / "b.ns2"
+        b.write_bytes(a.read_bytes())
+        assert trace_file_digest(b) == first  # same content, any path
+
+        a.write_text("$node_(0) set X_ 99.0\n$node_(0) set Y_ 10.0\n")
+        assert trace_file_digest(a) != first  # in-place edit changes it
+
+    def test_digest_missing_file_raises(self, tmp_path):
+        from repro.mobility.traces import trace_file_digest
+
+        with pytest.raises(OSError):
+            trace_file_digest(tmp_path / "gone.ns2")

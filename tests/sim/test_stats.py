@@ -112,3 +112,63 @@ class TestSnapshot:
         snap = collector.snapshot("test", 10.0, {}, 0)
         assert sorted(snap.latencies) == [1.0, 2.0, 3.0]
         assert sorted(snap.hop_counts) == [1, 2, 3]
+
+
+class TestMetricsJsonRoundTrip:
+    def _snapshot(self):
+        collector = MetricsCollector()
+        messages = [make_message(seq=i) for i in range(3)]
+        for m in messages:
+            collector.on_created(m)
+        collector.on_delivered(messages[0], now=5.0, hops=2)
+        collector.record_storage("n0", peak=4, time_average=1.5)
+        return collector.snapshot("test", 100.0, {"frames_sent": 7}, 42)
+
+    def test_round_trip_is_exact(self):
+        import json
+
+        from repro.sim.stats import SimulationMetrics
+
+        snap = self._snapshot()
+        # per_node_peak_storage keys are ints in simulator output;
+        # rebuild with int keys to mirror the real shape.
+        snap.per_node_peak_storage = {0: 4}
+        document = json.loads(json.dumps(snap.to_json()))
+        assert SimulationMetrics.from_json(document) == snap
+
+    def test_missing_field_rejected(self):
+        from repro.sim.stats import SimulationMetrics
+
+        data = self._snapshot().to_json()
+        data.pop("delivery_ratio")
+        with pytest.raises(ValueError):
+            SimulationMetrics.from_json(data)
+
+    def test_extra_field_rejected(self):
+        from repro.sim.stats import SimulationMetrics
+
+        data = self._snapshot().to_json()
+        data["bogus"] = 1
+        with pytest.raises(ValueError):
+            SimulationMetrics.from_json(data)
+
+    def test_malformed_shapes_rejected(self):
+        from repro.sim.stats import SimulationMetrics
+
+        for field, bad in (
+            ("per_node_peak_storage", []),
+            ("latencies", {}),
+            ("hop_counts", "xyz"),
+        ):
+            data = self._snapshot().to_json()
+            data[field] = bad
+            with pytest.raises(ValueError):
+                SimulationMetrics.from_json(data)
+
+    def test_non_dict_rejected(self):
+        from repro.sim.stats import SimulationMetrics
+
+        with pytest.raises(ValueError):
+            SimulationMetrics.from_json(None)
+        with pytest.raises(ValueError):
+            SimulationMetrics.from_json([1, 2])

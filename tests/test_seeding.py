@@ -7,6 +7,7 @@ from repro.seeding import (
     derive_rng,
     derive_seed,
     replicate_seed,
+    stable_shard,
 )
 
 
@@ -64,3 +65,27 @@ class TestReplicateSeed:
     def test_rejects_negative_replicate(self):
         with pytest.raises(ValueError):
             replicate_seed(1, -1)
+
+
+class TestStableShard:
+    def test_in_range_and_deterministic(self):
+        keys = [f"key-{i}" for i in range(200)]
+        for count in (1, 2, 3, 7):
+            shards = [stable_shard(k, count) for k in keys]
+            assert all(0 <= s < count for s in shards)
+            assert shards == [stable_shard(k, count) for k in keys]
+
+    def test_single_shard_takes_everything(self):
+        assert all(
+            stable_shard(f"k{i}", 1) == 0 for i in range(50)
+        )
+
+    def test_keys_spread_across_shards(self):
+        # Statistical, but 200 distinct keys into 2 shards all landing
+        # on one side would mean the hash is broken.
+        shards = {stable_shard(f"key-{i}", 2) for i in range(200)}
+        assert shards == {0, 1}
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            stable_shard("k", 0)
