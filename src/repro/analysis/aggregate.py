@@ -74,9 +74,28 @@ def summarize_cells(
 
     This is the campaign-level aggregation step: cells are whatever the
     caller keys them by (``(scenario name, protocol label)`` for
-    campaigns and stream replays).
+    campaigns and stream replays).  Partial views (shard results, live
+    watch ticks) never contain empty cells — the rebuild step drops
+    cells with no records — so an empty run list here is a caller bug
+    and raises.
     """
     return {
         cell: summarize_metrics(runs)
         for cell, runs in metrics_by_cell.items()
     }
+
+
+def cell_coverage(
+    metrics_by_cell: Mapping[CellKey, Sequence[SimulationMetrics]],
+    expected_runs: int,
+) -> tuple[int, int]:
+    """(cells that hold all ``expected_runs`` replicates, cells with data).
+
+    The honesty line of a partial aggregate: a live watcher or a shard
+    report pairs this with the per-cell ``runs`` column so a
+    half-finished campaign can never read as the full result.
+    """
+    complete = sum(
+        1 for runs in metrics_by_cell.values() if len(runs) >= expected_runs
+    )
+    return complete, len(metrics_by_cell)

@@ -7,12 +7,16 @@ Subcommands:
   ablation) at bench, spot, or paper effort.
 - ``campaign`` — run a declarative scenario-grid x protocol-config x
   replicate sweep through the parallel campaign engine, with an
-  on-disk result cache and an append-only JSONL metrics stream so
-  interrupted or repeated campaigns resume instead of re-simulating.
+  append-only JSONL metrics stream as the primary resume medium (an
+  on-disk result cache is an opt-in second layer), so interrupted or
+  repeated campaigns resume instead of re-simulating.
   ``--shard-index/--shard-count`` runs one deterministic slice of a
-  campaign (multi-machine sweeps); ``campaign merge`` unions shard
-  streams; ``campaign aggregate`` renders the summary table from a
-  stream alone.
+  campaign (multi-machine sweeps); ``campaign orchestrate`` launches
+  and supervises all shards as local worker subprocesses (requeuing a
+  dead worker's remaining tasks); ``campaign watch`` tails the growing
+  streams and re-renders the partial aggregate live; ``campaign
+  merge`` unions shard streams; ``campaign aggregate`` renders the
+  summary table from a stream alone.
 - ``list`` — enumerate available experiments and protocols.
 
 Examples::
@@ -21,11 +25,16 @@ Examples::
     repro experiment fig4 --effort bench --workers 4
     repro experiment fig6 --mobility gauss-markov
     repro campaign --radii 50,100 --protocols glr,epidemic \\
-        --replicates 3 --workers 4 --cache-dir .campaign-cache
+        --replicates 3 --workers 4 --stream metrics.jsonl
     repro campaign --mobility rwp,gauss-markov \\
         --protocol-param check_interval=0.9,1.8 \\
         --protocol-param custody=true,false --workers 4
+    repro campaign --mobility rpgm --mobility-param n_groups=2,4 \\
+        --protocols glr --replicates 3
     repro campaign --suite mobility-x-protocol --effort bench
+    repro campaign orchestrate --radii 50,100 --shards 2 \\
+        --workers-per-shard 2 --dir RUNDIR
+    repro campaign watch --dir RUNDIR
     repro campaign --radii 50,100 --stream shard0.jsonl \\
         --shard-index 0 --shard-count 2 --cache-dir CACHE
     repro campaign merge --out merged.jsonl shard0.jsonl shard1.jsonl
@@ -39,6 +48,7 @@ import dataclasses
 import itertools
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Callable
 
@@ -50,8 +60,14 @@ from repro.experiments.campaign import (
     merge_caches,
     run_campaign,
 )
+from repro.experiments.orchestrator import (
+    OrchestratorError,
+    orchestrate_campaign,
+    render_watch,
+    watch_view,
+)
 from repro.experiments.protocols import ProtocolConfig
-from repro.experiments.stream import merge_streams
+from repro.experiments.stream import StreamError, merge_streams
 from repro.experiments.common import (
     BENCH_EFFORT,
     PAPER_EFFORT,
@@ -65,7 +81,11 @@ from repro.experiments.suites import (
     build_suite,
     suite_description,
 )
-from repro.mobility.registry import available_models
+from repro.mobility.registry import (
+    MobilityConfig,
+    as_mobility_config,
+    available_models,
+)
 
 
 def _fig1_driver(
@@ -149,7 +169,111 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a scenario-grid sweep through the campaign engine",
     )
     camp_sub = camp_p.add_subparsers(
-        dest="campaign_action", metavar="{merge,aggregate}"
+        dest="campaign_action",
+        metavar="{orchestrate,watch,merge,aggregate}",
+    )
+    orch_p = camp_sub.add_parser(
+        "orchestrate",
+        help="launch and supervise all shards of a campaign as local "
+        "worker subprocesses, then merge and aggregate",
+    )
+    _add_campaign_shape_args(orch_p)
+    orch_p.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        help="number of shard workers the campaign fans out over",
+    )
+    orch_p.add_argument(
+        "--workers-per-shard",
+        type=int,
+        default=1,
+        help="process-pool size inside each shard worker (default: 1)",
+    )
+    orch_p.add_argument(
+        "--dir",
+        default=None,
+        help="run directory for spec/streams/heartbeats/logs and the "
+        "merged stream (default: orchestrated-<name>; rerunning with "
+        "the same dir resumes from its shard streams)",
+    )
+    orch_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="opt-in per-task result cache shared by the shard workers "
+        "(streams already make orchestrated runs resumable)",
+    )
+    orch_p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="launches per shard before the campaign aborts (default: 3)",
+    )
+    orch_p.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="cap on simultaneously running shard workers "
+        "(default: all shards at once)",
+    )
+    orch_p.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=600.0,
+        help="seconds without a heartbeat touch before a worker is "
+        "declared stalled, killed, and its shard requeued "
+        "(workers touch per finished task; default: 600)",
+    )
+    orch_p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.3,
+        help="supervision poll interval in seconds (default: 0.3)",
+    )
+    orch_p.add_argument(
+        "--chaos-kill-shard",
+        type=int,
+        default=None,
+        metavar="INDEX",
+        help="fault injection (tests/CI): SIGKILL this shard's first "
+        "worker mid-run and let supervision requeue it",
+    )
+    orch_p.add_argument(
+        "--chaos-kill-after",
+        type=int,
+        default=1,
+        metavar="RECORDS",
+        help="fire --chaos-kill-shard once the worker's stream holds "
+        "this many records (default: 1; 0 kills at launch, "
+        "deterministically)",
+    )
+    orch_p.add_argument(
+        "--quiet", action="store_true", help="suppress supervision events"
+    )
+    watch_p = camp_sub.add_parser(
+        "watch",
+        help="tail live campaign streams and re-render the partial "
+        "aggregate (read-only; never repairs a stream)",
+    )
+    watch_p.add_argument(
+        "streams", nargs="*", help="stream files to watch"
+    )
+    watch_p.add_argument(
+        "--dir",
+        default=None,
+        help="watch every shard*.jsonl in an orchestrator run directory "
+        "(instead of naming streams)",
+    )
+    watch_p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between re-renders (default: 2)",
+    )
+    watch_p.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (scripting/CI)",
     )
     merge_p = camp_sub.add_parser(
         "merge",
@@ -178,72 +302,7 @@ def _build_parser() -> argparse.ArgumentParser:
     agg_p.add_argument(
         "--stream", required=True, help="metrics stream to aggregate"
     )
-    camp_p.add_argument(
-        "--spec",
-        default=None,
-        help="JSON campaign spec file (grid/shape flags conflict with it; "
-        "--seed/--replicates override its values)",
-    )
-    camp_p.add_argument(
-        "--suite",
-        default=None,
-        choices=available_suites(),
-        help="run a named cross-mobility suite (--effort scales it; "
-        "grid/shape flags conflict with it)",
-    )
-    camp_p.add_argument(
-        "--effort",
-        default=None,
-        choices=sorted(EFFORTS),
-        help="simulation effort for --suite campaigns (default: bench; "
-        "grid campaigns take --messages/--sim-time instead)",
-    )
-    camp_p.add_argument("--name", default=None)
-    camp_p.add_argument(
-        "--protocols",
-        default=None,
-        help="comma-separated protocol list (default: glr)",
-    )
-    camp_p.add_argument(
-        "--replicates",
-        type=int,
-        default=None,
-        help="replicates per cell (default: 3; overrides a --spec file)",
-    )
-    camp_p.add_argument(
-        "--radii",
-        default=None,
-        help="comma-separated radius grid in metres",
-    )
-    camp_p.add_argument(
-        "--node-counts",
-        default=None,
-        help="comma-separated node-count grid",
-    )
-    camp_p.add_argument(
-        "--mobility",
-        default=None,
-        help="comma-separated mobility-model grid "
-        f"(registry models: {','.join(available_models())})",
-    )
-    camp_p.add_argument(
-        "--protocol-param",
-        action="append",
-        default=None,
-        metavar="NAME=V1,V2,...",
-        help="sweep a protocol-config field over the listed values "
-        "(repeatable; the cartesian product of all --protocol-param "
-        "axes is applied to every --protocols entry)",
-    )
-    camp_p.add_argument("--messages", type=int, default=None)
-    camp_p.add_argument("--sim-time", type=float, default=None)
-    camp_p.add_argument("--storage-limit", type=int, default=None)
-    camp_p.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        help="base scenario seed (default: 1; overrides a --spec file)",
-    )
+    _add_campaign_shape_args(camp_p)
     camp_p.add_argument("--workers", type=int, default=1)
     camp_p.add_argument("--cache-dir", default=None)
     camp_p.add_argument(
@@ -266,11 +325,99 @@ def _build_parser() -> argparse.ArgumentParser:
         help="total number of shards the campaign is split into",
     )
     camp_p.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="FILE",
+        help="touch this file at start and after every finished task "
+        "(the orchestrator's worker-liveness probe)",
+    )
+    camp_p.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress"
     )
 
     sub.add_parser("list", help="list experiments and protocols")
     return parser
+
+
+def _add_campaign_shape_args(parser: argparse.ArgumentParser) -> None:
+    """The flags that define *what* a campaign runs (shared by
+    ``campaign`` and ``campaign orchestrate``)."""
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="JSON campaign spec file (grid/shape flags conflict with it; "
+        "--seed/--replicates override its values)",
+    )
+    parser.add_argument(
+        "--suite",
+        default=None,
+        choices=available_suites(),
+        help="run a named cross-mobility suite (--effort scales it; "
+        "grid/shape flags conflict with it)",
+    )
+    parser.add_argument(
+        "--effort",
+        default=None,
+        choices=sorted(EFFORTS),
+        help="simulation effort for --suite campaigns (default: bench; "
+        "grid campaigns take --messages/--sim-time instead)",
+    )
+    parser.add_argument("--name", default=None)
+    parser.add_argument(
+        "--protocols",
+        default=None,
+        help="comma-separated protocol list (default: glr)",
+    )
+    parser.add_argument(
+        "--replicates",
+        type=int,
+        default=None,
+        help="replicates per cell (default: 3; overrides a --spec file)",
+    )
+    parser.add_argument(
+        "--radii",
+        default=None,
+        help="comma-separated radius grid in metres",
+    )
+    parser.add_argument(
+        "--node-counts",
+        default=None,
+        help="comma-separated node-count grid",
+    )
+    parser.add_argument(
+        "--mobility",
+        default=None,
+        help="comma-separated mobility-model grid "
+        f"(registry models: {','.join(available_models())})",
+    )
+    parser.add_argument(
+        "--protocol-param",
+        action="append",
+        default=None,
+        metavar="NAME=V1,V2,...",
+        help="sweep a protocol-config field over the listed values "
+        "(repeatable; the cartesian product of all --protocol-param "
+        "axes is applied to every --protocols entry)",
+    )
+    parser.add_argument(
+        "--mobility-param",
+        action="append",
+        default=None,
+        metavar="NAME=V1,V2,...",
+        help="sweep a mobility-model parameter over the listed values "
+        "(repeatable; the cartesian product of all --mobility-param "
+        "axes is applied to every --mobility model; names/values are "
+        "validated against the registry before anything runs)",
+    )
+    parser.add_argument("--messages", type=int, default=None)
+    parser.add_argument("--sim-time", type=float, default=None)
+    parser.add_argument("--storage-limit", type=int, default=None)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base scenario seed (default: 1; overrides a --spec file)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -344,6 +491,35 @@ def _param_value(text: str) -> bool | int | float | str:
     return text.strip()
 
 
+def _param_axes(flag: str, entries: list[str]) -> list[tuple[str, tuple]]:
+    """Parse repeatable ``name=v1,v2`` sweep-axis flags (shared by
+    ``--protocol-param`` and ``--mobility-param``)."""
+    axes: list[tuple[str, tuple]] = []
+    for entry in entries:
+        name, sep, values_text = entry.partition("=")
+        name = name.strip()
+        values = _csv(values_text, _param_value)
+        if not sep or not name or not values:
+            raise ValueError(
+                f"{flag} needs the form name=v1,v2,..., got {entry!r}"
+            )
+        if len(set(values)) != len(values):
+            raise ValueError(f"{flag} {name} has duplicate values")
+        if any(name == seen for seen, _ in axes):
+            raise ValueError(f"{flag} {name} given twice")
+        axes.append((name, values))
+    return axes
+
+
+def _param_combos(axes: list[tuple[str, tuple]]) -> list[dict]:
+    """Every parameter assignment in the cartesian product of ``axes``."""
+    names = [name for name, _ in axes]
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(values for _, values in axes))
+    ]
+
+
 def _expand_protocol_params(
     protocols: tuple[str, ...], entries: list[str]
 ) -> tuple[ProtocolConfig, ...]:
@@ -354,28 +530,31 @@ def _expand_protocol_params(
     Validation (unknown field, bad value, protocol that takes no
     parameters) happens inside :class:`ProtocolConfig` at build time.
     """
-    axes: list[tuple[str, tuple]] = []
-    for entry in entries:
-        name, sep, values_text = entry.partition("=")
-        name = name.strip()
-        values = _csv(values_text, _param_value)
-        if not sep or not name or not values:
-            raise ValueError(
-                f"--protocol-param needs the form name=v1,v2,..., "
-                f"got {entry!r}"
-            )
-        if len(set(values)) != len(values):
-            raise ValueError(
-                f"--protocol-param {name} has duplicate values"
-            )
-        if any(name == seen for seen, _ in axes):
-            raise ValueError(f"--protocol-param {name} given twice")
-        axes.append((name, values))
-    names = [name for name, _ in axes]
+    combos = _param_combos(_param_axes("--protocol-param", entries))
     return tuple(
-        ProtocolConfig.of(protocol, **dict(zip(names, combo)))
+        ProtocolConfig.of(protocol, **params)
         for protocol in protocols
-        for combo in itertools.product(*(values for _, values in axes))
+        for params in combos
+    )
+
+
+def _expand_mobility_params(
+    models: tuple[str, ...], entries: list[str]
+) -> tuple[MobilityConfig, ...]:
+    """The mobility axis: every model x every param combination.
+
+    Mirrors :func:`_expand_protocol_params` for movement models, so
+    mobility parameter grids no longer require a JSON spec.  Each
+    config passes through :func:`repro.mobility.registry
+    .as_mobility_config` here, at parse time — an unknown model, a
+    typo'd parameter name, or a missing required parameter fails with
+    the registry's error before any simulation starts.
+    """
+    combos = _param_combos(_param_axes("--mobility-param", entries))
+    return tuple(
+        as_mobility_config(MobilityConfig.of(model, **params))
+        for model in models
+        for params in combos
     )
 
 
@@ -397,6 +576,7 @@ def _reject_conflicting_shape_flags(
             ("--node-counts", args.node_counts),
             ("--mobility", args.mobility),
             ("--protocol-param", args.protocol_param),
+            ("--mobility-param", args.mobility_param),
             ("--messages", args.messages),
             ("--sim-time", args.sim_time),
             ("--storage-limit", args.storage_limit),
@@ -477,7 +657,19 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         # Keep the active source/destination set valid across the grid.
         overrides["active_nodes"] = min(45, min(counts))
     if args.mobility:
-        grid.append(("mobility", _csv(args.mobility, str)))
+        models = _csv(args.mobility, str)
+        if args.mobility_param:
+            grid.append(
+                ("mobility",
+                 _expand_mobility_params(models, args.mobility_param))
+            )
+        else:
+            grid.append(("mobility", models))
+    elif args.mobility_param:
+        raise ValueError(
+            "--mobility-param needs --mobility to name the model(s) it "
+            "parameterises"
+        )
     return CampaignSpec(
         name=name,
         base=Scenario(name=name, **overrides),
@@ -523,8 +715,93 @@ def _cmd_campaign_aggregate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_orchestrate(args: argparse.Namespace) -> int:
+    spec = _campaign_spec_from_args(args)
+    run_dir = Path(args.dir) if args.dir else Path(f"orchestrated-{spec.name}")
+    total = spec.total_tasks()
+    print(
+        f"orchestrating campaign {spec.name}: {total} simulations over "
+        f"{args.shards} shard worker(s) x {args.workers_per_shard} "
+        f"process(es) each -> {run_dir}"
+    )
+
+    def on_event(message: str) -> None:
+        print(f"orchestrator: {message}", flush=True)
+
+    outcome = orchestrate_campaign(
+        spec,
+        shards=args.shards,
+        run_dir=run_dir,
+        workers_per_shard=args.workers_per_shard,
+        cache_dir=args.cache_dir,
+        poll_interval=args.poll_interval,
+        stall_timeout=args.stall_timeout,
+        max_attempts=args.max_attempts,
+        max_concurrent=args.max_concurrent,
+        on_event=None if args.quiet else on_event,
+        chaos_kill_shard=args.chaos_kill_shard,
+        chaos_kill_after=args.chaos_kill_after,
+    )
+    print()
+    print(outcome.result.render())
+    attempts = sum(status.attempts for status in outcome.shards)
+    print(
+        f"orchestrated: {args.shards} shard(s), {attempts} worker "
+        f"launch(es), {outcome.requeues} requeue(s); merged stream: "
+        f"{outcome.merged_stream}"
+    )
+    return 0
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    if bool(args.streams) == bool(args.dir):
+        raise ValueError(
+            "watch takes stream paths or --dir RUNDIR (one or the other)"
+        )
+
+    def stream_paths() -> list[Path]:
+        if args.dir:
+            return sorted(Path(args.dir).glob("shard*.jsonl"))
+        return [Path(stream) for stream in args.streams]
+
+    while True:
+        ready = [
+            path
+            for path in stream_paths()
+            if path.exists() and path.stat().st_size > 0
+        ]
+        if not ready:
+            if args.once:
+                raise ValueError(
+                    "no campaign streams to watch yet "
+                    f"({args.dir or ', '.join(args.streams)})"
+                )
+            print("watch: waiting for campaign streams...", flush=True)
+            time.sleep(args.interval)
+            continue
+        try:
+            view = watch_view(ready)
+        except StreamError as exc:
+            if args.once:
+                raise
+            # Transient on live streams (e.g. a header mid-append);
+            # report and try again rather than killing the dashboard.
+            print(f"watch: {exc}", flush=True)
+            time.sleep(args.interval)
+            continue
+        print(render_watch(view), flush=True)
+        if args.once or view.finished:
+            return 0
+        print(flush=True)
+        time.sleep(args.interval)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     action = getattr(args, "campaign_action", None)
+    if action == "orchestrate":
+        return _cmd_campaign_orchestrate(args)
+    if action == "watch":
+        return _cmd_campaign_watch(args)
     if action == "merge":
         return _cmd_campaign_merge(args)
     if action == "aggregate":
@@ -554,7 +831,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"= {total} simulations ({args.workers} workers{shard})"
     )
 
+    heartbeat = Path(args.heartbeat) if args.heartbeat else None
+    if heartbeat is not None:
+        heartbeat.parent.mkdir(parents=True, exist_ok=True)
+        heartbeat.touch()
+
     def progress(event: TaskProgress) -> None:
+        if heartbeat is not None:
+            heartbeat.touch()
+        if args.quiet:
+            return
         source = event.source or ("cache" if event.cached else "ran")
         print(
             f"[{event.done}/{event.total}] {event.task.scenario.name} "
@@ -566,7 +852,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         spec,
         workers=args.workers,
         cache_dir=args.cache_dir,
-        progress=None if args.quiet else progress,
+        progress=None if args.quiet and heartbeat is None else progress,
         stream_path=args.stream,
         shard_index=args.shard_index,
         shard_count=args.shard_count,
@@ -618,6 +904,11 @@ def main(argv: list[str] | None = None) -> int:
         except OSError:
             pass
         return 141
+    except OrchestratorError as exc:
+        # A shard kept failing: operational, not bad input — the run
+        # dir keeps the shard streams, so a rerun resumes.
+        print(f"orchestrator error: {exc}", file=sys.stderr)
+        return 3
     except (ValueError, OSError) as exc:
         # Bad user input (unknown protocol, malformed spec/grid, missing
         # file); json.JSONDecodeError is a ValueError subclass.
@@ -625,8 +916,16 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     except KeyboardInterrupt:
         hint = ""
-        if getattr(args, "cache_dir", None):
-            hint = " — rerun with the same --cache-dir to resume"
+        action = getattr(args, "campaign_action", None)
+        if action == "orchestrate":
+            hint = " — rerun with the same --dir to resume"
+        elif action is None:
+            # Only actual simulation runs are resumable; merge/
+            # aggregate/watch also carry --stream but are read paths.
+            if getattr(args, "stream", None):
+                hint = " — rerun with the same --stream to resume"
+            elif getattr(args, "cache_dir", None):
+                hint = " — rerun with the same --cache-dir to resume"
         print(f"\ninterrupted{hint}", file=sys.stderr)
         return 130
     return 1  # pragma: no cover - argparse enforces choices

@@ -10,11 +10,18 @@ from repro.experiments.campaign import (
     ReplicateSpec,
     ReplicateTask,
     ResultCache,
+    campaign_result_from_records,
     campaign_result_from_stream,
     campaign_spec_hash,
     merge_caches,
     run_campaign,
     run_replicate_specs,
+)
+from repro.experiments.orchestrator import (
+    OrchestratorError,
+    OrchestratorResult,
+    orchestrate_campaign,
+    watch_view,
 )
 from repro.experiments.protocols import ProtocolConfig, as_protocol_config
 from repro.experiments.runner import (
@@ -23,7 +30,13 @@ from repro.experiments.runner import (
     run_replicates,
     run_single,
 )
-from repro.experiments.stream import StreamError, load_stream, merge_streams
+from repro.experiments.stream import (
+    StreamError,
+    load_stream,
+    merge_streams,
+    stream_task_count,
+    union_records,
+)
 from repro.experiments.scenarios import PAPER_TABLE1, Scenario
 from repro.experiments.suites import (
     available_suites,
@@ -36,6 +49,8 @@ __all__ = [
     "PAPER_TABLE1",
     "CampaignResult",
     "CampaignSpec",
+    "OrchestratorError",
+    "OrchestratorResult",
     "ProtocolConfig",
     "ReplicateSpec",
     "ReplicateTask",
@@ -48,15 +63,20 @@ __all__ = [
     "available_suites",
     "build_suite",
     "build_world",
+    "campaign_result_from_records",
     "campaign_result_from_stream",
     "campaign_spec_hash",
     "generate_workload",
     "load_stream",
     "merge_caches",
     "merge_streams",
+    "orchestrate_campaign",
     "run_campaign",
     "run_replicate_specs",
     "run_replicates",
     "run_single",
+    "stream_task_count",
     "suite_description",
+    "union_records",
+    "watch_view",
 ]

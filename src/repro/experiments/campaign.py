@@ -77,6 +77,7 @@ __all__ = [
     "ReplicateTask",
     "ResultCache",
     "TaskProgress",
+    "campaign_result_from_records",
     "campaign_result_from_stream",
     "campaign_spec_hash",
     "execute_tasks",
@@ -913,11 +914,19 @@ def run_campaign(
     to the campaign's metrics stream, tasks already recorded there are
     skipped entirely (stream resume), and the returned result is built
     *from the stream* — the stream is the source of truth, not
-    in-memory state.  With ``shard_index``/``shard_count``, only this
-    shard's deterministic subset of tasks runs (partitioned by content
-    key via :func:`repro.seeding.stable_shard`); shard streams are
-    merged with :func:`~repro.experiments.stream.merge_streams` and
+    in-memory state.  The stream is the campaign's primary resume
+    medium: a killed run relaunched with the same ``stream_path`` runs
+    only the tasks its stream does not hold yet, no result cache
+    required.  ``cache_dir`` is an opt-in *second* layer whose value is
+    cross-campaign reuse — per-task entries keyed by content survive
+    spec renames and feed other sweeps that share tasks — not
+    within-campaign resume.  With ``shard_index``/``shard_count``, only
+    this shard's deterministic subset of tasks runs (partitioned by
+    content key via :func:`repro.seeding.stable_shard`); shard streams
+    are merged with :func:`~repro.experiments.stream.merge_streams` and
     aggregated with :func:`campaign_result_from_stream`.
+    :func:`repro.experiments.orchestrator.orchestrate_campaign` wraps
+    the whole fan-out (launch shards, supervise, merge) in one call.
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     # Entry keys feed shard selection and the stream (resume map,
@@ -1022,6 +1031,66 @@ def run_campaign(
     )
 
 
+def campaign_result_from_records(
+    spec: CampaignSpec,
+    records: Sequence[dict],
+    stream_damaged: int = 0,
+    source: str = "stream",
+) -> CampaignResult:
+    """Aggregate task records (stream lines) into a :class:`CampaignResult`.
+
+    The shared rebuild step behind :func:`campaign_result_from_stream`
+    (one finished stream) and the live watcher (an in-memory union of
+    *growing* shard streams re-aggregated every tick).  Cells are
+    ordered exactly as the live campaign orders them, so a complete
+    record set renders byte-identically to the run that produced it;
+    cells with no records yet are simply absent (the ``runs`` column
+    makes partial coverage visible).  ``source`` names where the
+    records came from, for error messages.
+    """
+    by_cell: dict[tuple[str, str], list[dict]] = {}
+    for record in records:
+        cell = (record["scenario"], record["protocol"])
+        by_cell.setdefault(cell, []).append(record)
+    known_cells = [
+        spec.cell_label(scenario, config)
+        for scenario, config in spec.cells()
+    ]
+    metrics: dict[tuple[str, str], list[SimulationMetrics]] = {}
+    for cell in known_cells:
+        cell_records = by_cell.pop(cell, None)
+        if not cell_records:
+            continue  # a shard/partial stream covers only part of the grid
+        cell_records.sort(key=lambda r: r["replicate"])
+        replicates = [r["replicate"] for r in cell_records]
+        if len(set(replicates)) != len(replicates):
+            # Two records for one (cell, replicate) under different
+            # task keys means the stream holds multiple *generations*
+            # of the campaign (e.g. a trace file edited in place, keys
+            # rehashed, tasks rerun into the same stream).  There is no
+            # way to know which generation is current from the stream
+            # alone; aggregating both would silently skew the CIs.
+            raise ValueError(
+                f"{source} holds multiple records for cell "
+                f"{cell} at the same replicate index — superseded task "
+                f"generations; rerun the campaign with a fresh stream"
+            )
+        metrics[cell] = [
+            SimulationMetrics.from_json(r["metrics"]) for r in cell_records
+        ]
+    if by_cell:
+        raise ValueError(
+            f"{source} has records for cells the spec does "
+            f"not define: {sorted(by_cell)[:3]}"
+        )
+    return CampaignResult(
+        spec=spec,
+        metrics=metrics,
+        stream_hits=len(records),
+        stream_damaged=stream_damaged,
+    )
+
+
 def campaign_result_from_stream(
     stream_path: str | Path,
 ) -> CampaignResult:
@@ -1042,46 +1111,11 @@ def campaign_result_from_stream(
             f"stream {stream_path} header is inconsistent: its spec "
             f"document does not hash to its spec_hash"
         )
-    by_cell: dict[tuple[str, str], list[dict]] = {}
-    for record in info.records:
-        cell = (record["scenario"], record["protocol"])
-        by_cell.setdefault(cell, []).append(record)
-    known_cells = [
-        spec.cell_label(scenario, config)
-        for scenario, config in spec.cells()
-    ]
-    metrics: dict[tuple[str, str], list[SimulationMetrics]] = {}
-    for cell in known_cells:
-        records = by_cell.pop(cell, None)
-        if not records:
-            continue  # a shard stream covers only part of the grid
-        records.sort(key=lambda r: r["replicate"])
-        replicates = [r["replicate"] for r in records]
-        if len(set(replicates)) != len(replicates):
-            # Two records for one (cell, replicate) under different
-            # task keys means the stream holds multiple *generations*
-            # of the campaign (e.g. a trace file edited in place, keys
-            # rehashed, tasks rerun into the same stream).  There is no
-            # way to know which generation is current from the stream
-            # alone; aggregating both would silently skew the CIs.
-            raise ValueError(
-                f"stream {stream_path} holds multiple records for cell "
-                f"{cell} at the same replicate index — superseded task "
-                f"generations; rerun the campaign with a fresh stream"
-            )
-        metrics[cell] = [
-            SimulationMetrics.from_json(r["metrics"]) for r in records
-        ]
-    if by_cell:
-        raise ValueError(
-            f"stream {stream_path} has records for cells the spec does "
-            f"not define: {sorted(by_cell)[:3]}"
-        )
-    return CampaignResult(
-        spec=spec,
-        metrics=metrics,
-        stream_hits=len(info.records),
+    return campaign_result_from_records(
+        spec,
+        info.records,
         stream_damaged=info.quarantined,
+        source=f"stream {stream_path}",
     )
 
 

@@ -1,0 +1,608 @@
+"""Campaign orchestrator: launch, supervise, and collect shard workers.
+
+PR 3 made campaigns shardable (``--shard-index/--shard-count`` +
+``repro campaign merge``) but left the shards to be launched by hand or
+by a cluster scheduler.  This module is the in-repo scheduler: one call
+fans a :class:`~repro.experiments.campaign.CampaignSpec` out across N
+supervised worker subprocesses and comes back with the merged,
+aggregated result.
+
+How it works:
+
+- The task set is partitioned with the same content-key rule the manual
+  path uses (:func:`repro.seeding.stable_shard` over
+  :func:`~repro.experiments.campaign.task_key`), so an orchestrated run
+  is *by construction* the same partition a hand-launched shard run
+  would execute — and :func:`repro.seeding.shard_sizes` tells the
+  supervisor up front how many task records each shard's stream must
+  end up with (the completion criterion).
+- Each shard worker is a ``repro campaign`` subprocess with
+  ``--spec/--shard-index/--shard-count/--stream/--heartbeat``; it
+  writes its own append-only JSONL stream.  Streams are the only
+  coordination medium: there is no IPC to lose, and a worker death
+  costs at most the task that was in flight.
+- The supervisor polls worker liveness (``Popen.poll``), stream growth
+  (:func:`~repro.experiments.stream.stream_task_count` — a cheap line
+  count, no JSON decoding), and the heartbeat file the worker touches
+  per finished task.  A dead or stalled worker's shard goes back on the
+  queue and is relaunched on the next free slot; the replacement
+  resumes from the shard's stream, so only the *remaining* tasks run.
+  ``max_attempts`` failures of one shard abort the whole campaign with
+  that shard's log tail.
+- When every shard completes, the shard streams are merged
+  (:func:`~repro.experiments.stream.merge_streams`) and aggregated
+  (:func:`~repro.experiments.campaign.campaign_result_from_stream`) —
+  bit-identical to an unsharded run of the same spec, which
+  ``tests/experiments/test_equivalence.py`` asserts.
+
+Fault injection (``chaos_kill_shard``) SIGKILLs one shard's first
+worker once its stream holds ``chaos_kill_after`` records; CI's
+chaos-smoke job uses it to prove the requeue path end to end.
+
+:func:`watch_view` is the read side: it unions the (possibly still
+growing) shard streams in memory — ``quarantine=False`` throughout, so
+a live stream's in-flight tail is never repaired away — and rebuilds
+the partial per-cell aggregate with the honest ``runs`` column.
+``repro campaign watch`` re-renders it on an interval.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis.aggregate import cell_coverage
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    campaign_result_from_records,
+    campaign_result_from_stream,
+    campaign_spec_hash,
+    task_key,
+)
+from repro.experiments.stream import (
+    StreamError,
+    StreamTailCounter,
+    load_stream,
+    merge_streams,
+    stream_task_count,
+    union_records,
+)
+from repro.seeding import shard_sizes
+
+__all__ = [
+    "OrchestratorError",
+    "OrchestratorResult",
+    "ShardStatus",
+    "WatchView",
+    "orchestrate_campaign",
+    "render_watch",
+    "watch_view",
+]
+
+#: Called with one human-readable line per supervision event (launch,
+#: death, requeue, completion, merge).  The CLI prints these; tests and
+#: CI grep them.
+EventCallback = Callable[[str], None]
+
+
+class OrchestratorError(RuntimeError):
+    """The orchestrated campaign cannot complete (shard failed for good)."""
+
+
+@dataclass
+class ShardStatus:
+    """One shard's supervision state, across all its launch attempts."""
+
+    index: int
+    stream: Path
+    heartbeat: Path
+    log: Path
+    expected_tasks: int
+    #: Launch attempts so far (1 on first launch).
+    attempts: int = 0
+    #: Times this shard's remaining tasks were requeued after a
+    #: dead/stalled worker.
+    requeues: int = 0
+    #: Task records its stream held at the last poll.
+    recorded: int = 0
+    #: ``pending`` | ``running`` | ``done`` | ``empty`` (owns no tasks).
+    state: str = "pending"
+    exit_codes: list[int] = field(default_factory=list)
+
+
+@dataclass
+class OrchestratorResult:
+    """A completed orchestrated campaign."""
+
+    result: CampaignResult
+    merged_stream: Path
+    shards: list[ShardStatus]
+
+    @property
+    def requeues(self) -> int:
+        """Total dead/stalled-worker requeues across all shards."""
+        return sum(status.requeues for status in self.shards)
+
+
+def _worker_env() -> dict[str, str]:
+    """The subprocess environment: inherit, plus make ``repro`` importable.
+
+    The orchestrator may itself be running from a source checkout that
+    is only importable through ``PYTHONPATH``; prepending this
+    package's root keeps the worker command working in both installed
+    and checkout layouts.
+    """
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing
+            else package_root
+        )
+    return env
+
+
+def _worker_command(
+    spec_file: Path,
+    status: ShardStatus,
+    shard_count: int,
+    workers_per_shard: int,
+    cache_dir: str | Path | None,
+) -> list[str]:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "campaign",
+        "--spec",
+        str(spec_file),
+        "--shard-index",
+        str(status.index),
+        "--shard-count",
+        str(shard_count),
+        "--stream",
+        str(status.stream),
+        "--heartbeat",
+        str(status.heartbeat),
+        "--workers",
+        str(workers_per_shard),
+        "--quiet",
+    ]
+    if cache_dir is not None:
+        command += ["--cache-dir", str(cache_dir)]
+    return command
+
+
+def _tail(path: Path, lines: int = 15) -> str:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return "<no worker log>"
+    return "\n".join(text.splitlines()[-lines:])
+
+
+@dataclass
+class _Worker:
+    """A live shard worker subprocess plus its log handle."""
+
+    status: ShardStatus
+    process: subprocess.Popen
+    log_handle: object
+    launched_at: float
+
+    def kill(self) -> None:
+        """SIGKILL the worker and everything it spawned.
+
+        Workers launch in their own session (``start_new_session``), so
+        killing the process *group* also reaps the worker's
+        ``ProcessPoolExecutor`` children — killing only the parent
+        would orphan them mid-simulation, blocked forever on a call
+        queue nobody will feed again.
+        """
+        try:
+            os.killpg(self.process.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            self.process.kill()
+        self.process.wait(timeout=30)
+
+    def close_log(self) -> None:
+        try:
+            self.log_handle.close()
+        except OSError:  # pragma: no cover - close of an append handle
+            pass
+
+
+def orchestrate_campaign(
+    spec: CampaignSpec,
+    shards: int,
+    run_dir: str | Path,
+    workers_per_shard: int = 1,
+    cache_dir: str | Path | None = None,
+    poll_interval: float = 0.3,
+    stall_timeout: float = 600.0,
+    max_attempts: int = 3,
+    max_concurrent: int | None = None,
+    on_event: EventCallback | None = None,
+    chaos_kill_shard: int | None = None,
+    chaos_kill_after: int = 1,
+) -> OrchestratorResult:
+    """Fan a campaign out over supervised shard workers and collect it.
+
+    ``run_dir`` holds everything: the spec document handed to workers
+    (``spec.json``), one stream + heartbeat + log per shard
+    (``shard<i>.jsonl`` / ``.heartbeat`` / ``.log``), and the final
+    merged stream (``campaign.jsonl``).  Re-running with the same
+    ``run_dir`` resumes: each relaunched worker skips the tasks its
+    shard stream already records, so a killed orchestrator costs at
+    most the tasks that were in flight.  Streams are the resume
+    medium; pass ``cache_dir`` only for cross-campaign task reuse.
+
+    A worker that dies (any nonzero exit) or stalls (no heartbeat
+    touch for ``stall_timeout`` seconds — workers touch per finished
+    task, so set this above your slowest single task) is killed and
+    its shard requeued onto the next free slot, up to ``max_attempts``
+    launches per shard; after that the campaign aborts with the
+    shard's log tail.  ``max_concurrent`` caps simultaneous workers
+    (default: all ``shards`` at once).
+
+    ``chaos_kill_shard``/``chaos_kill_after`` are fault injection for
+    tests and CI: SIGKILL that shard's *first* worker once its stream
+    holds ``chaos_kill_after`` records, then let supervision recover.
+    ``chaos_kill_after=0`` kills at launch — deterministic, where the
+    mid-run variant races the worker's own completion (if the worker
+    wins, a ``chaos: ... finished before the injection`` event says so).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if workers_per_shard < 1:
+        raise ValueError("workers_per_shard must be >= 1")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    if poll_interval <= 0:
+        raise ValueError("poll_interval must be positive")
+    if stall_timeout <= 0:
+        raise ValueError("stall_timeout must be positive")
+    if max_concurrent is None:
+        max_concurrent = shards
+    if max_concurrent < 1:
+        raise ValueError("max_concurrent must be >= 1")
+    if chaos_kill_shard is not None and not 0 <= chaos_kill_shard < shards:
+        raise ValueError(
+            f"chaos_kill_shard must be in [0, {shards}), got "
+            f"{chaos_kill_shard}"
+        )
+
+    def event(message: str) -> None:
+        if on_event is not None:
+            on_event(message)
+
+    run_path = Path(run_dir)
+    run_path.mkdir(parents=True, exist_ok=True)
+    spec_hash = campaign_spec_hash(spec)
+    spec_file = run_path / "spec.json"
+    spec_file.write_text(
+        json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    # The same expansion + partition the workers will compute, done
+    # once up front: per-shard totals are the completion criterion.
+    keys = [
+        task_key(task)
+        for _, cell_spec in spec.cell_specs()
+        for task in cell_spec.tasks()
+    ]
+    sizes = shard_sizes(keys, shards)
+    total_tasks = len(keys)
+
+    statuses = [
+        ShardStatus(
+            index=index,
+            stream=run_path / f"shard{index}.jsonl",
+            heartbeat=run_path / f"shard{index}.heartbeat",
+            log=run_path / f"shard{index}.log",
+            expected_tasks=sizes[index],
+        )
+        for index in range(shards)
+    ]
+    for status in statuses:
+        if status.expected_tasks == 0:
+            # A hash partition can leave small campaigns with empty
+            # shards; launching a worker for zero tasks is noise.
+            status.state = "empty"
+            event(f"shard {status.index}: no tasks in this partition")
+        elif status.stream.exists() and status.stream.stat().st_size > 0:
+            # Fail a mismatched run_dir reuse here, not worker by
+            # worker: every stream in the dir must belong to this spec.
+            load_stream(status.stream, expected_spec_hash=spec_hash,
+                        quarantine=False)
+            status.recorded = stream_task_count(status.stream)
+            if status.recorded:
+                event(
+                    f"shard {status.index}: resuming, stream already "
+                    f"holds {status.recorded}/{status.expected_tasks} "
+                    f"task(s)"
+                )
+
+    queue: deque[ShardStatus] = deque(
+        status for status in statuses if status.state == "pending"
+    )
+    running: list[_Worker] = []
+    # Incremental per-shard record counters: polling happens several
+    # times a second for the whole campaign, so each tick must read
+    # only the stream bytes appended since the last one.
+    counters = {
+        status.index: StreamTailCounter(status.stream)
+        for status in statuses
+    }
+    chaos_pending = chaos_kill_shard is not None
+    last_progress = -1
+
+    def launch(status: ShardStatus) -> None:
+        nonlocal chaos_pending
+        status.attempts += 1
+        status.state = "running"
+        # Arm the stall clock at launch: a worker that wedges before
+        # its first task still trips the timeout.
+        status.heartbeat.touch()
+        handle = open(status.log, "a", encoding="utf-8")
+        handle.write(f"--- attempt {status.attempts} ---\n")
+        handle.flush()
+        process = subprocess.Popen(
+            _worker_command(
+                spec_file, status, shards, workers_per_shard, cache_dir
+            ),
+            stdout=handle,
+            stderr=subprocess.STDOUT,
+            env=_worker_env(),
+            # Own session/process group, so killing a worker also
+            # reaps its simulation pool children (see _Worker.kill).
+            start_new_session=True,
+        )
+        running.append(
+            _Worker(status, process, handle, time.monotonic())
+        )
+        event(
+            f"launched shard {status.index} attempt {status.attempts} "
+            f"(pid {process.pid}, "
+            f"{status.expected_tasks - status.recorded} task(s) to run)"
+        )
+        if (
+            chaos_pending
+            and status.index == chaos_kill_shard
+            and status.attempts == 1
+            and chaos_kill_after <= status.recorded
+        ):
+            # chaos_kill_after == 0 (or a resumed stream already past
+            # the threshold): kill at launch, deterministically — the
+            # mid-run variant below races the worker's own completion.
+            process.kill()
+            chaos_pending = False
+            event(
+                f"chaos: SIGKILL shard {status.index} worker "
+                f"(pid {process.pid}) at launch"
+            )
+
+    def abort(status: ShardStatus, why: str) -> None:
+        for worker in running:
+            worker.kill()
+            worker.close_log()
+        running.clear()
+        raise OrchestratorError(
+            f"shard {status.index} {why} after {status.attempts} launch "
+            f"attempt(s) (exit codes {status.exit_codes}); giving up.\n"
+            f"--- tail of {status.log} ---\n{_tail(status.log)}"
+        )
+
+    try:
+        while queue or running:
+            while queue and len(running) < max_concurrent:
+                launch(queue.popleft())
+            time.sleep(poll_interval)
+            for worker in list(running):
+                status = worker.status
+                status.recorded = counters[status.index].count()
+                return_code = worker.process.poll()
+                if (
+                    chaos_pending
+                    and status.index == chaos_kill_shard
+                    and status.attempts == 1
+                    and status.recorded >= chaos_kill_after
+                    and return_code is None
+                ):
+                    worker.kill()
+                    chaos_pending = False
+                    event(
+                        f"chaos: SIGKILL shard {status.index} worker "
+                        f"(pid {worker.process.pid}) after "
+                        f"{status.recorded} recorded task(s)"
+                    )
+                    return_code = worker.process.poll()
+                if return_code is None:
+                    try:
+                        heartbeat_age = (
+                            time.time() - status.heartbeat.stat().st_mtime
+                        )
+                    except OSError:
+                        heartbeat_age = time.monotonic() - worker.launched_at
+                    if heartbeat_age > stall_timeout:
+                        event(
+                            f"shard {status.index} stalled (no heartbeat "
+                            f"for {heartbeat_age:.0f}s); killing worker "
+                            f"pid {worker.process.pid}"
+                        )
+                        worker.kill()
+                        return_code = worker.process.poll()
+                if return_code is None:
+                    continue
+                if (
+                    chaos_pending
+                    and status.index == chaos_kill_shard
+                    and status.attempts == 1
+                ):
+                    # The target outran the injection (all its tasks
+                    # finished between two polls).  Say so loudly: a
+                    # chaos test that never killed anything proves
+                    # nothing, and CI asserts on these event lines.
+                    chaos_pending = False
+                    event(
+                        f"chaos: shard {status.index} worker finished "
+                        f"before the injection could fire; nothing killed"
+                    )
+                running.remove(worker)
+                worker.close_log()
+                status.exit_codes.append(return_code)
+                status.recorded = counters[status.index].count()
+                if (
+                    return_code == 0
+                    and status.recorded >= status.expected_tasks
+                ):
+                    status.state = "done"
+                    event(
+                        f"shard {status.index} done "
+                        f"({status.recorded}/{status.expected_tasks} "
+                        f"tasks)"
+                    )
+                    continue
+                if status.attempts >= max_attempts:
+                    abort(
+                        status,
+                        "kept failing" if return_code != 0
+                        else "exits cleanly but its stream stays "
+                             "incomplete",
+                    )
+                status.requeues += 1
+                status.state = "pending"
+                queue.append(status)
+                remaining = status.expected_tasks - status.recorded
+                cause = (
+                    f"worker died (exit {return_code})"
+                    if return_code != 0
+                    else "worker exited with an incomplete stream"
+                )
+                event(
+                    f"shard {status.index} {cause} with "
+                    f"{status.recorded}/{status.expected_tasks} task(s) "
+                    f"recorded; requeuing {remaining} remaining task(s)"
+                )
+            progress = sum(status.recorded for status in statuses)
+            if progress != last_progress:
+                event(f"progress: {progress}/{total_tasks} tasks recorded")
+                last_progress = progress
+    finally:
+        # Interrupt/abort cleanup: take the whole worker process
+        # groups down, or their pool children would outlive us.
+        for worker in running:
+            worker.kill()
+            worker.close_log()
+
+    merged = run_path / "campaign.jsonl"
+    done_streams = [
+        status.stream for status in statuses if status.state == "done"
+    ]
+    info = merge_streams(merged, done_streams)
+    if len(info.records) != total_tasks:
+        raise OrchestratorError(
+            f"merged stream holds {len(info.records)} records, expected "
+            f"{total_tasks}; shard streams are incomplete or damaged "
+            f"({info.quarantined} undecodable line(s) skipped)"
+        )
+    event(
+        f"merged {len(done_streams)} shard stream(s) -> {merged} "
+        f"({len(info.records)} task records)"
+    )
+    return OrchestratorResult(
+        result=campaign_result_from_stream(merged),
+        merged_stream=merged,
+        shards=statuses,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Live watching (read-only incremental aggregation)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WatchView:
+    """One read-only snapshot of a campaign's (possibly live) streams."""
+
+    result: CampaignResult
+    #: Task records across the streams vs the spec's total task count.
+    done: int
+    total: int
+    #: Cells holding all / any replicates vs the grid's cell count.
+    complete_cells: int
+    started_cells: int
+    total_cells: int
+
+    @property
+    def finished(self) -> bool:
+        """Every task of the campaign is recorded."""
+        return self.done >= self.total
+
+
+def watch_view(stream_paths: Sequence[str | Path]) -> WatchView:
+    """Union (possibly growing) shard streams into a partial aggregate.
+
+    Strictly read-only: streams load with ``quarantine=False``, so an
+    in-flight tail some worker is mid-append on is skipped this tick
+    and picked up the next — never repaired away.  All streams must
+    carry one spec hash (they are shards of one campaign); records are
+    deduplicated by task key exactly as ``repro campaign merge`` would.
+    """
+    if not stream_paths:
+        raise StreamError("nothing to watch: no stream paths")
+    infos = [load_stream(path, quarantine=False) for path in stream_paths]
+    records = union_records(infos)
+    spec = CampaignSpec.from_dict(infos[0].header["spec"])
+    if campaign_spec_hash(spec) != infos[0].spec_hash:
+        raise ValueError(
+            f"stream {infos[0].path} header is inconsistent: its spec "
+            f"document does not hash to its spec_hash"
+        )
+    result = campaign_result_from_records(
+        spec,
+        records,
+        stream_damaged=sum(info.quarantined for info in infos),
+        source="live streams",
+    )
+    complete, started = cell_coverage(result.metrics, spec.replicates)
+    return WatchView(
+        result=result,
+        done=len(records),
+        total=spec.total_tasks(),
+        complete_cells=complete,
+        started_cells=started,
+        total_cells=len(spec.cells()),
+    )
+
+
+def render_watch(view: WatchView) -> str:
+    """The watcher's one-screen rendering: status line + partial table."""
+    spec = view.result.spec
+    percent = 100.0 * view.done / view.total if view.total else 100.0
+    status = (
+        f"campaign {spec.name}: {view.done}/{view.total} tasks recorded "
+        f"({percent:.1f}%), {view.complete_cells}/{view.total_cells} "
+        f"cells complete"
+    )
+    if view.result.stream_damaged:
+        status += (
+            f" [{view.result.stream_damaged} in-flight/undecodable "
+            f"line(s) skipped this tick]"
+        )
+    if not view.started_cells:
+        return f"{status}\n(no task records yet)"
+    return f"{status}\n{view.result.render()}"

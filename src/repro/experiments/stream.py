@@ -275,29 +275,81 @@ def _record_sort_key(record: dict) -> tuple:
     )
 
 
-def merge_streams(
-    out_path: str | Path, in_paths: Sequence[str | Path]
-) -> StreamInfo:
-    """Union shard streams into one, deduplicating by task key.
+def stream_task_count(path: str | Path) -> int:
+    """How many *complete* task lines ``path`` holds right now, cheaply.
 
-    All inputs must carry the same spec hash (shards of one campaign);
-    anything else raises :class:`StreamError` naming the offending
-    file.  Overlapping shards are fine — duplicate keys collapse to one
-    record, but two records claiming the same key with *different*
-    metrics mean the shards disagree about a simulation and the merge
-    refuses rather than pick a winner.  Duplicates that agree on
-    metrics may still differ in provenance (``wall_time_s``, ``cached``
-    — one shard simulated the task, another cache-resumed it); the
-    lexicographically smallest encoded record wins, so together with
-    the (scenario, protocol, replicate, key) output sort, merging the
-    same shards in any order produces byte-identical files.
+    A monitoring probe, not a loader: it counts ``\\n``-terminated lines
+    (minus the header) without JSON-decoding anything.  An in-flight
+    tail (no trailing newline yet) is simply not counted.  Missing or
+    empty files count as zero — the worker has not started writing.
+    For repeated polling of a growing stream use
+    :class:`StreamTailCounter`, which reads only the appended suffix.
     """
-    if not in_paths:
-        raise StreamError("nothing to merge: no input streams")
-    # Read-only with respect to the inputs: a shard stream may still be
-    # live (its campaign appending); repair belongs to the writer's
-    # resume path, not to a reader that might catch a line mid-append.
-    infos = [load_stream(p, quarantine=False) for p in in_paths]
+    try:
+        with open(path, "rb") as handle:
+            lines = handle.read().count(b"\n")
+    except OSError:
+        return 0
+    return max(0, lines - 1)
+
+
+class StreamTailCounter:
+    """Incremental :func:`stream_task_count` for an append-only stream.
+
+    A supervisor polls worker streams several times a second for the
+    whole campaign; re-reading a growing file from byte zero each tick
+    would make supervision I/O quadratic in stream size.  This counter
+    remembers how far it has read and counts only the appended suffix
+    — and it never advances past the last complete line, so an
+    in-flight tail is re-examined (not mis-counted) on the next poll.
+    If the file shrinks (a relaunched worker's resume repaired a torn
+    tail and atomically rewrote the stream), the counter starts over.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._newlines = 0
+
+    def count(self) -> int:
+        """Complete task lines in the stream right now (header excluded)."""
+        try:
+            size = os.stat(self.path).st_size
+        except OSError:
+            self._offset = 0
+            self._newlines = 0
+            return 0
+        if size < self._offset:
+            # Rewritten shorter underneath us: recount from scratch.
+            self._offset = 0
+            self._newlines = 0
+        if size > self._offset:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read(size - self._offset)
+            last_newline = chunk.rfind(b"\n")
+            if last_newline >= 0:
+                self._offset += last_newline + 1
+                self._newlines += chunk.count(b"\n", 0, last_newline + 1)
+        return max(0, self._newlines - 1)
+
+
+def union_records(infos: Sequence[StreamInfo]) -> list[dict]:
+    """Union already-loaded streams' records, deduplicating by task key.
+
+    The in-memory half of :func:`merge_streams`, shared with the live
+    watcher (which unions *growing* shard streams every tick without
+    writing anything).  All inputs must carry the same spec hash;
+    duplicate keys collapse to one record, but records that *disagree*
+    about a task's metrics raise :class:`StreamError` rather than pick
+    a winner.  Duplicates that agree on metrics may still differ in
+    provenance (``wall_time_s``, ``cached`` — one shard simulated the
+    task, another cache-resumed it); the lexicographically smallest
+    encoded record wins, so the output is invariant to input order.
+    Records come back sorted by (scenario, protocol, replicate, key).
+    """
+    if not infos:
+        raise StreamError("nothing to union: no input streams")
     first = infos[0]
     for info in infos[1:]:
         if info.spec_hash != first.spec_hash:
@@ -322,13 +374,34 @@ def merge_streams(
                 )
             elif _encode_line(record) < _encode_line(existing):
                 by_key[record["key"]] = record
-    merged = sorted(by_key.values(), key=_record_sort_key)
+    return sorted(by_key.values(), key=_record_sort_key)
+
+
+def merge_streams(
+    out_path: str | Path, in_paths: Sequence[str | Path]
+) -> StreamInfo:
+    """Union shard streams into one file, deduplicating by task key.
+
+    All inputs must carry the same spec hash (shards of one campaign);
+    anything else raises :class:`StreamError` naming the offending
+    file.  Dedup/conflict semantics are :func:`union_records`'s; the
+    (scenario, protocol, replicate, key) output sort plus its canonical
+    duplicate winner mean merging the same shards in any order produces
+    byte-identical files.
+    """
+    if not in_paths:
+        raise StreamError("nothing to merge: no input streams")
+    # Read-only with respect to the inputs: a shard stream may still be
+    # live (its campaign appending); repair belongs to the writer's
+    # resume path, not to a reader that might catch a line mid-append.
+    infos = [load_stream(p, quarantine=False) for p in in_paths]
+    merged = union_records(infos)
     target = Path(out_path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    _atomic_write(target, [first.header, *merged])
+    _atomic_write(target, [infos[0].header, *merged])
     return StreamInfo(
         path=target,
-        header=first.header,
+        header=infos[0].header,
         records=merged,
         # Undecodable lines skipped across the inputs: the caller
         # should surface this — those tasks are absent from the merge.

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+from typing import Iterable
 
 
 def derive_seed(*parts: object) -> str:
@@ -56,3 +57,21 @@ def stable_shard(key: str, shard_count: int) -> int:
         raise ValueError("shard count must be >= 1")
     digest = hashlib.sha256(key.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % shard_count
+
+
+def shard_sizes(keys: Iterable[str], shard_count: int) -> list[int]:
+    """How many of ``keys`` each shard owns (index ``i`` -> count).
+
+    The orchestrator uses this to know, before launching anything, how
+    many task records each shard worker's stream must end up with — the
+    completion criterion that distinguishes "worker exited cleanly" from
+    "worker finished its shard".  Content-key partitioning is uneven by
+    nature (it is a hash split, not round-robin), so per-shard totals
+    must be computed, not divided.
+    """
+    if shard_count < 1:
+        raise ValueError("shard count must be >= 1")
+    sizes = [0] * shard_count
+    for key in keys:
+        sizes[stable_shard(key, shard_count)] += 1
+    return sizes

@@ -6,7 +6,11 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.analysis.aggregate import summarize_metrics
+from repro.analysis.aggregate import (
+    cell_coverage,
+    summarize_cells,
+    summarize_metrics,
+)
 from repro.analysis.ci import (
     ConfidenceInterval,
     mean_confidence_interval,
@@ -132,3 +136,29 @@ class TestSummarize:
         summary = summarize_metrics(runs)
         assert summary.average_latency is None
         assert summary.average_hops is None
+
+
+class TestSummarizeCells:
+    def test_preserves_cell_order(self):
+        cells = {
+            ("b", "glr"): [make_metrics()],
+            ("a", "glr"): [make_metrics()],
+        }
+        assert list(summarize_cells(cells)) == [("b", "glr"), ("a", "glr")]
+
+    def test_empty_cell_raises(self):
+        # Partial views (shard/watch rebuilds) drop empty cells before
+        # summarising; an empty list reaching here is a caller bug.
+        with pytest.raises(ValueError):
+            summarize_cells({("a", "glr"): []})
+
+
+class TestCellCoverage:
+    def test_counts_complete_and_started_cells(self):
+        cells = {
+            ("a", "glr"): [make_metrics(), make_metrics()],
+            ("b", "glr"): [make_metrics()],
+        }
+        assert cell_coverage(cells, expected_runs=2) == (1, 2)
+        assert cell_coverage(cells, expected_runs=1) == (2, 2)
+        assert cell_coverage({}, expected_runs=2) == (0, 0)

@@ -574,3 +574,226 @@ class TestCampaignV2Cli:
     def test_suite_mobility_x_protocol_listed(self, capsys):
         assert main(["list"]) == 0
         assert "mobility-x-protocol" in capsys.readouterr().out
+
+    def test_heartbeat_touched_per_task(self, capsys, tmp_path):
+        heartbeat = tmp_path / "hb"
+        args = [
+            "campaign",
+            "--node-counts",
+            "10",
+            "--protocols",
+            "glr",
+            "--replicates",
+            "1",
+            "--messages",
+            "2",
+            "--sim-time",
+            "15",
+            "--quiet",
+            "--heartbeat",
+            str(heartbeat),
+        ]
+        assert main(args) == 0
+        assert heartbeat.exists()
+
+
+class TestMobilityParamCli:
+    """--mobility-param mirrors --protocol-param for movement models."""
+
+    def _args(self, *extra):
+        return [
+            "campaign",
+            "--name",
+            "mp",
+            "--mobility",
+            "rpgm",
+            "--node-counts",
+            "10",
+            "--protocols",
+            "glr",
+            "--replicates",
+            "1",
+            "--messages",
+            "2",
+            "--sim-time",
+            "15",
+            "--quiet",
+            *extra,
+        ]
+
+    def test_expands_the_mobility_axis(self, capsys):
+        code = main(self._args("--mobility-param", "n_groups=2,3"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 simulations" in out
+        assert "mobility=rpgm(n_groups=2)" in out
+        assert "mobility=rpgm(n_groups=3)" in out
+
+    def test_axes_take_cartesian_product(self, capsys):
+        code = main(
+            self._args(
+                "--mobility-param",
+                "n_groups=2,3",
+                "--mobility-param",
+                "group_radius=40,80",
+            )
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 simulations" in out
+        assert "mobility=rpgm(group_radius=40,n_groups=2)" in out
+
+    def test_registry_validation_at_parse_time(self, capsys):
+        # A typo'd parameter name fails with the registry's message
+        # before any simulation starts.
+        assert main(self._args("--mobility-param", "n_grps=2,3")) == 2
+        err = capsys.readouterr().err
+        assert "does not accept" in err and "n_groups" in err
+
+    def test_requires_mobility(self, capsys):
+        assert (
+            main(["campaign", "--mobility-param", "n_groups=2,3"]) == 2
+        )
+        assert "--mobility" in capsys.readouterr().err
+
+    def test_malformed_and_duplicate_entries_rejected(self, capsys):
+        assert main(self._args("--mobility-param", "n_groups")) == 2
+        assert "name=v1,v2" in capsys.readouterr().err
+        assert main(self._args("--mobility-param", "n_groups=2,2")) == 2
+        assert "duplicate" in capsys.readouterr().err
+        assert (
+            main(
+                self._args(
+                    "--mobility-param",
+                    "n_groups=2,3",
+                    "--mobility-param",
+                    "n_groups=4,5",
+                )
+            )
+            == 2
+        )
+        assert "given twice" in capsys.readouterr().err
+
+    def test_conflicts_with_suite(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--suite",
+                    "convoy",
+                    "--mobility-param",
+                    "n_groups=2,3",
+                ]
+            )
+            == 2
+        )
+        assert "--mobility-param" in capsys.readouterr().err
+
+
+class TestOrchestrateCli:
+    def _args(self, run_dir, *extra):
+        return [
+            "campaign",
+            "orchestrate",
+            "--name",
+            "cli-orch",
+            "--radii",
+            "100,150",
+            "--node-counts",
+            "10",
+            "--protocols",
+            "glr",
+            "--replicates",
+            "1",
+            "--messages",
+            "2",
+            "--sim-time",
+            "15",
+            "--shards",
+            "2",
+            "--poll-interval",
+            "0.05",
+            "--dir",
+            str(run_dir),
+            *extra,
+        ]
+
+    def test_orchestrate_runs_and_merges(self, capsys, tmp_path):
+        assert main(self._args(tmp_path / "run")) == 0
+        out = capsys.readouterr().out
+        assert "orchestrating campaign cli-orch" in out
+        assert "2 simulations" in out
+        assert "orchestrated: 2 shard(s)" in out
+        assert (tmp_path / "run" / "campaign.jsonl").exists()
+        assert "cli-orch/radius=100.0" in out
+
+    def test_orchestrate_shape_flags_validated(self, capsys, tmp_path):
+        args = self._args(tmp_path)
+        args[args.index("glr")] = "warp_drive"
+        assert main(args) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_orchestrate_bad_shards_exit_2(self, capsys, tmp_path):
+        args = self._args(tmp_path)
+        args[args.index("--shards") + 1] = "0"
+        assert main(args) == 2
+        assert "shards" in capsys.readouterr().err
+
+
+class TestWatchCli:
+    def _write_stream(self, tmp_path, capsys):
+        stream = tmp_path / "w.jsonl"
+        args = [
+            "campaign",
+            "--name",
+            "cli-watch",
+            "--node-counts",
+            "10",
+            "--protocols",
+            "glr",
+            "--replicates",
+            "2",
+            "--messages",
+            "2",
+            "--sim-time",
+            "15",
+            "--quiet",
+            "--stream",
+            str(stream),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        return stream
+
+    def test_watch_once_renders_partial_aggregate(self, capsys, tmp_path):
+        stream = self._write_stream(tmp_path, capsys)
+        assert main(["campaign", "watch", str(stream), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 tasks recorded" in out
+        assert "cli-watch" in out
+
+    def test_watch_dir_globs_shard_streams(self, capsys, tmp_path):
+        stream = self._write_stream(tmp_path, capsys)
+        stream.rename(tmp_path / "shard0.jsonl")
+        assert main(
+            ["campaign", "watch", "--dir", str(tmp_path), "--once"]
+        ) == 0
+        assert "tasks recorded" in capsys.readouterr().out
+
+    def test_watch_needs_streams_or_dir_not_both(self, capsys, tmp_path):
+        assert main(["campaign", "watch"]) == 2
+        assert "one or the other" in capsys.readouterr().err
+        assert (
+            main(
+                ["campaign", "watch", "x.jsonl", "--dir", str(tmp_path)]
+            )
+            == 2
+        )
+        assert "one or the other" in capsys.readouterr().err
+
+    def test_watch_once_with_no_streams_yet_exits_2(self, capsys, tmp_path):
+        assert (
+            main(["campaign", "watch", "--dir", str(tmp_path), "--once"])
+            == 2
+        )
+        assert "no campaign streams" in capsys.readouterr().err

@@ -2,12 +2,17 @@
 
 Locks down the properties every v2 surface must preserve:
 
-- serial, parallel, and sharded-then-merged executions of one campaign
+- serial, parallel, sharded-then-merged, and *orchestrated* (shard
+  worker subprocesses supervised by
+  :mod:`repro.experiments.orchestrator`) executions of one campaign
   are bit-identical per (scenario, protocol, seed);
 - a default-protocol v2 campaign reproduces the v1 serial reference
   path (``run_replicates`` / ``run_single``, unchanged since the seed)
   on probe scenarios;
 - stream-rebuilt aggregates equal live aggregates, byte for byte;
+- a campaign killed after K tasks resumes from its stream alone (no
+  result cache), runs exactly the remaining tasks, and converges to
+  the uninterrupted stream;
 - v2-format cache entries migrate to v3 keys on read;
 - trace mobility cache keys follow file *content*, not the path.
 """
@@ -32,6 +37,7 @@ from repro.experiments.campaign import (
     run_campaign,
     task_key,
 )
+from repro.experiments.orchestrator import orchestrate_campaign
 from repro.experiments.protocols import ProtocolConfig
 from repro.experiments.runner import run_replicates, run_single
 from repro.experiments.scenarios import Scenario
@@ -63,6 +69,23 @@ PROBES = (
 
 def fingerprint(metrics):
     return dataclasses.asdict(metrics)
+
+
+def stream_essence(path):
+    """A stream's lines with per-run provenance stripped.
+
+    ``wall_time_s`` (timing) and ``cached`` (where the result came
+    from) legitimately differ between two executions of the same
+    campaign; everything else — header, keys, seeds, metrics, order —
+    must not.
+    """
+    essence = []
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        record.pop("wall_time_s", None)
+        record.pop("cached", None)
+        essence.append(json.dumps(record, sort_keys=True))
+    return essence
 
 
 def cell_fingerprints(result):
@@ -122,6 +145,47 @@ class TestSerialParallelShardEquivalence:
         assert cell_fingerprints(parallel) == reference
         assert cell_fingerprints(merged) == reference
         assert merged.render() == serial.render()
+
+    def test_orchestrated_equals_sharded_by_hand_equals_serial(
+        self, v2_spec, tmp_path
+    ):
+        """The acceptance property: `repro campaign orchestrate
+        --shards 2 --workers-per-shard 2` == hand-launched shards ==
+        serial, bit for bit."""
+        serial = run_campaign(
+            v2_spec, workers=1, stream_path=tmp_path / "serial.jsonl"
+        )
+        for index in range(2):
+            run_campaign(
+                v2_spec,
+                workers=2,
+                stream_path=tmp_path / f"hand{index}.jsonl",
+                shard_index=index,
+                shard_count=2,
+            )
+        merge_streams(
+            tmp_path / "hand.jsonl",
+            [tmp_path / "hand0.jsonl", tmp_path / "hand1.jsonl"],
+        )
+        by_hand = campaign_result_from_stream(tmp_path / "hand.jsonl")
+        orchestrated = orchestrate_campaign(
+            v2_spec,
+            shards=2,
+            workers_per_shard=2,
+            run_dir=tmp_path / "orchestrated",
+            poll_interval=0.05,
+        )
+
+        reference = cell_fingerprints(serial)
+        assert cell_fingerprints(by_hand) == reference
+        assert cell_fingerprints(orchestrated.result) == reference
+        assert orchestrated.result.render() == serial.render()
+        # The orchestrator's merged stream holds the same records as
+        # the hand merge, in the same canonical order — identical up
+        # to per-run provenance (wall_time_s, cached).
+        assert stream_essence(orchestrated.merged_stream) == stream_essence(
+            tmp_path / "hand.jsonl"
+        )
 
     def test_shards_partition_tasks_exactly(self, v2_spec):
         tasks = [t for s in v2_spec.specs() for t in s.tasks()]
@@ -272,6 +336,70 @@ class TestStreamAggregationEquivalence:
         rebuilt = campaign_result_from_stream(tmp_path / "s.jsonl")
         assert rebuilt.spec == v2_spec
         assert campaign_spec_hash(rebuilt.spec) == campaign_spec_hash(v2_spec)
+
+
+class TestStreamBackedResume:
+    """Streams are the primary resume medium: no cache dir required."""
+
+    def test_killed_after_k_tasks_resumes_stream_only(
+        self, v2_spec, tmp_path
+    ):
+        total = v2_spec.total_tasks()
+        kill_after = 5
+        assert 0 < kill_after < total
+
+        # The uninterrupted reference run (serial, streamed).
+        full = tmp_path / "full.jsonl"
+        run_campaign(v2_spec, stream_path=full)
+
+        # Simulate a campaign killed after K tasks: its stream is the
+        # header plus the first K records (append_record fsyncs line by
+        # line, so this is exactly what a SIGKILL leaves behind).
+        interrupted = tmp_path / "interrupted.jsonl"
+        lines = full.read_text().splitlines(keepends=True)
+        interrupted.write_text("".join(lines[: 1 + kill_after]))
+
+        # Resume with *no cache dir*: only the remaining tasks run.
+        sources = []
+        resumed = run_campaign(
+            v2_spec,
+            stream_path=interrupted,
+            progress=lambda event: sources.append(event.source),
+        )
+        assert sources.count("stream") == kill_after
+        assert sources.count("ran") == total - kill_after
+        assert len(sources) == total
+        assert resumed.stream_hits == kill_after
+        assert resumed.cache_enabled is False
+
+        # The resumed stream converges to the uninterrupted one:
+        # identical lines in identical order, up to per-run provenance
+        # (wall_time_s/cached), and a bit-identical aggregate.
+        assert stream_essence(interrupted) == stream_essence(full)
+        assert cell_fingerprints(resumed) == cell_fingerprints(
+            campaign_result_from_stream(full)
+        )
+        assert resumed.render() == campaign_result_from_stream(full).render()
+
+    def test_resume_handles_torn_tail_from_a_real_kill(
+        self, v2_spec, tmp_path
+    ):
+        # A SIGKILL mid-append can also tear the final line; the
+        # *writer's* resume path quarantines it and recomputes that
+        # task (plus the never-run remainder).
+        full = tmp_path / "full.jsonl"
+        run_campaign(v2_spec, stream_path=full)
+        interrupted = tmp_path / "interrupted.jsonl"
+        lines = full.read_text().splitlines(keepends=True)
+        torn = lines[3][: len(lines[3]) // 2]
+        interrupted.write_text("".join(lines[:3]) + torn)
+
+        resumed = run_campaign(v2_spec, stream_path=interrupted)
+        assert resumed.stream_hits == 2  # the two intact records
+        assert interrupted.with_name(
+            interrupted.name + ".quarantined"
+        ).exists()
+        assert stream_essence(interrupted) == stream_essence(full)
 
 
 class TestCacheFormatMigration:

@@ -1,0 +1,307 @@
+"""Tests for the campaign orchestrator: supervise, requeue, watch.
+
+The orchestrator's contract: one call fans a campaign out over real
+worker subprocesses and the collected result is bit-identical to a
+serial run — through worker death (chaos SIGKILL), run-dir resume, and
+permanently failing shards (clean abort with the worker's log tail).
+The watcher is strictly read-only: partial aggregates with honest run
+counts, and it never mutates or repairs a live stream.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.experiments import orchestrator as orchestrator_module
+from repro.experiments.campaign import (
+    CampaignSpec,
+    campaign_spec_hash,
+    run_campaign,
+    task_key,
+)
+from repro.experiments.orchestrator import (
+    OrchestratorError,
+    orchestrate_campaign,
+    render_watch,
+    watch_view,
+)
+from repro.experiments.scenarios import Scenario
+from repro.experiments.stream import StreamError, stream_task_count
+from repro.seeding import shard_sizes
+
+TINY = Scenario(
+    name="orch-tiny",
+    n_nodes=10,
+    active_nodes=5,
+    radius=150.0,
+    message_count=2,
+    sim_time=15.0,
+    seed=3,
+)
+
+#: 2 radii x 2 protocols x 2 replicates = 8 tasks; small enough that a
+#: full orchestrated run (subprocess workers included) takes seconds.
+SPEC = CampaignSpec(
+    name="orch",
+    base=TINY,
+    grid=(("radius", (120.0, 180.0)),),
+    protocols=("glr", "epidemic"),
+    replicates=2,
+)
+
+
+@pytest.fixture(scope="module")
+def orchestrated(tmp_path_factory):
+    """One orchestrated run of SPEC, shared by the read-only tests."""
+    run_dir = tmp_path_factory.mktemp("orchestrated")
+    events: list[str] = []
+    outcome = orchestrate_campaign(
+        SPEC,
+        shards=2,
+        run_dir=run_dir,
+        poll_interval=0.05,
+        on_event=events.append,
+    )
+    return outcome, events, run_dir
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return run_campaign(SPEC)
+
+
+class TestOrchestratedRun:
+    def test_matches_serial_reference_bit_for_bit(
+        self, orchestrated, serial_reference
+    ):
+        outcome, _, _ = orchestrated
+        assert outcome.result.render() == serial_reference.render()
+        assert outcome.result.metrics == serial_reference.metrics
+
+    def test_shard_accounting_covers_every_task(self, orchestrated):
+        outcome, _, _ = orchestrated
+        expected = [status.expected_tasks for status in outcome.shards]
+        assert sum(expected) == SPEC.total_tasks()
+        keys = [
+            task_key(task)
+            for _, cell_spec in SPEC.cell_specs()
+            for task in cell_spec.tasks()
+        ]
+        assert expected == shard_sizes(keys, 2)
+        for status in outcome.shards:
+            if status.expected_tasks:
+                assert status.state == "done"
+                assert status.recorded == status.expected_tasks
+            else:
+                assert status.state == "empty"
+                assert status.attempts == 0
+
+    def test_merged_stream_holds_every_record(self, orchestrated):
+        outcome, _, run_dir = orchestrated
+        assert outcome.merged_stream == run_dir / "campaign.jsonl"
+        assert stream_task_count(outcome.merged_stream) == SPEC.total_tasks()
+
+    def test_run_dir_artifacts(self, orchestrated):
+        outcome, _, run_dir = orchestrated
+        spec_doc = json.loads((run_dir / "spec.json").read_text())
+        restored = CampaignSpec.from_dict(spec_doc)
+        assert campaign_spec_hash(restored) == campaign_spec_hash(SPEC)
+        for status in outcome.shards:
+            if status.expected_tasks:
+                assert status.stream.exists()
+                assert status.heartbeat.exists()
+                assert status.log.exists()
+
+    def test_events_narrate_launch_and_completion(self, orchestrated):
+        _, events, _ = orchestrated
+        assert any(event.startswith("launched shard") for event in events)
+        assert any("done" in event for event in events)
+        assert any("merged" in event for event in events)
+
+    def test_rerun_with_same_dir_resumes_streams_untouched(
+        self, orchestrated
+    ):
+        outcome, _, run_dir = orchestrated
+        before = {
+            status.stream: status.stream.read_bytes()
+            for status in outcome.shards
+            if status.expected_tasks
+        }
+        events: list[str] = []
+        again = orchestrate_campaign(
+            SPEC,
+            shards=2,
+            run_dir=run_dir,
+            poll_interval=0.05,
+            on_event=events.append,
+        )
+        # The relaunched workers stream-resume: every task is already
+        # recorded, so the shard streams do not change by one byte.
+        for stream, payload in before.items():
+            assert stream.read_bytes() == payload
+        assert any("resuming" in event for event in events)
+        assert again.result.render() == outcome.result.render()
+
+    def test_mismatched_run_dir_is_refused(self, orchestrated, tmp_path):
+        _, _, run_dir = orchestrated
+        other = CampaignSpec(
+            name="orch", base=TINY, protocols=("glr",), replicates=1
+        )
+        with pytest.raises(StreamError, match="spec hash"):
+            orchestrate_campaign(
+                other, shards=2, run_dir=run_dir, poll_interval=0.05
+            )
+
+
+class TestChaosRecovery:
+    def test_sigkilled_worker_is_requeued_and_campaign_completes(
+        self, tmp_path, serial_reference
+    ):
+        events: list[str] = []
+        outcome = orchestrate_campaign(
+            SPEC,
+            shards=2,
+            run_dir=tmp_path / "chaos",
+            poll_interval=0.05,
+            on_event=events.append,
+            chaos_kill_shard=0,
+            chaos_kill_after=0,  # at launch: deterministic
+        )
+        assert any("chaos: SIGKILL shard 0" in event for event in events)
+        assert any("requeuing" in event for event in events)
+        assert outcome.requeues >= 1
+        assert outcome.shards[0].attempts >= 2
+        # Recovery is invisible in the result: still bit-identical.
+        assert outcome.result.render() == serial_reference.render()
+        assert outcome.result.metrics == serial_reference.metrics
+
+    def test_chaos_shard_must_exist(self, tmp_path):
+        with pytest.raises(ValueError, match="chaos_kill_shard"):
+            orchestrate_campaign(
+                SPEC, shards=2, run_dir=tmp_path, chaos_kill_shard=5
+            )
+
+
+class TestFailureHandling:
+    def test_persistently_failing_shard_aborts_with_log_tail(
+        self, tmp_path, monkeypatch
+    ):
+        # Replace the worker command with one that dies instantly, so
+        # the abort path runs without simulating anything.
+        monkeypatch.setattr(
+            orchestrator_module,
+            "_worker_command",
+            lambda *args, **kwargs: [
+                sys.executable,
+                "-c",
+                "print('worker log line'); raise SystemExit(7)",
+            ],
+        )
+        with pytest.raises(OrchestratorError, match="shard") as excinfo:
+            orchestrate_campaign(
+                SPEC,
+                shards=1,
+                run_dir=tmp_path,
+                poll_interval=0.05,
+                max_attempts=2,
+            )
+        message = str(excinfo.value)
+        assert "[7, 7]" in message  # both attempts' exit codes
+        assert "worker log line" in message  # the log tail is surfaced
+
+    def test_bad_arguments_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="shards"):
+            orchestrate_campaign(SPEC, shards=0, run_dir=tmp_path)
+        with pytest.raises(ValueError, match="workers_per_shard"):
+            orchestrate_campaign(
+                SPEC, shards=1, run_dir=tmp_path, workers_per_shard=0
+            )
+        with pytest.raises(ValueError, match="max_attempts"):
+            orchestrate_campaign(
+                SPEC, shards=1, run_dir=tmp_path, max_attempts=0
+            )
+        with pytest.raises(ValueError, match="max_concurrent"):
+            orchestrate_campaign(
+                SPEC, shards=2, run_dir=tmp_path, max_concurrent=0
+            )
+        with pytest.raises(ValueError, match="poll_interval"):
+            orchestrate_campaign(
+                SPEC, shards=1, run_dir=tmp_path, poll_interval=0.0
+            )
+        with pytest.raises(ValueError, match="stall_timeout"):
+            orchestrate_campaign(
+                SPEC, shards=1, run_dir=tmp_path, stall_timeout=0.0
+            )
+
+
+class TestWatch:
+    """watch_view over in-process shard streams (no subprocesses)."""
+
+    @pytest.fixture()
+    def shard_streams(self, tmp_path):
+        streams = []
+        for index in range(2):
+            stream = tmp_path / f"shard{index}.jsonl"
+            run_campaign(
+                SPEC,
+                stream_path=stream,
+                shard_index=index,
+                shard_count=2,
+            )
+            streams.append(stream)
+        return streams
+
+    def test_partial_view_reports_honest_counts(self, shard_streams):
+        view = watch_view(shard_streams[:1])
+        assert view.total == SPEC.total_tasks()
+        assert 0 < view.done < view.total
+        assert not view.finished
+        assert view.total_cells == len(SPEC.cells())
+        rendered = render_watch(view)
+        assert f"{view.done}/{view.total} tasks recorded" in rendered
+
+    def test_full_view_matches_live_aggregate(
+        self, shard_streams, serial_reference
+    ):
+        view = watch_view(shard_streams)
+        assert view.finished
+        assert view.complete_cells == view.total_cells
+        assert view.result.render() == serial_reference.render()
+
+    def test_watching_never_mutates_a_live_stream(self, shard_streams):
+        # Simulate a worker mid-append: torn tail on one stream.
+        with open(shard_streams[0], "a") as handle:
+            handle.write('{"kind": "task", "key": "in-fli')
+        before = [stream.read_bytes() for stream in shard_streams]
+        view = watch_view(shard_streams)
+        assert view.result.stream_damaged >= 1
+        assert "skipped" in render_watch(view)
+        assert [s.read_bytes() for s in shard_streams] == before
+        for stream in shard_streams:
+            sidecar = stream.with_name(stream.name + ".quarantined")
+            assert not sidecar.exists()
+
+    def test_empty_cells_render_as_waiting(self, tmp_path):
+        from repro.experiments.stream import init_stream
+
+        stream = tmp_path / "fresh.jsonl"
+        init_stream(stream, campaign_spec_hash(SPEC), SPEC.to_dict())
+        view = watch_view([stream])
+        assert view.done == 0 and not view.finished
+        assert "no task records yet" in render_watch(view)
+
+    def test_mixed_campaign_streams_refused(self, shard_streams, tmp_path):
+        other_spec = CampaignSpec(
+            name="other", base=TINY, protocols=("glr",), replicates=1
+        )
+        other = tmp_path / "other.jsonl"
+        run_campaign(other_spec, stream_path=other)
+        with pytest.raises(StreamError, match="spec hash"):
+            watch_view([shard_streams[0], other])
+
+    def test_no_streams_refused(self):
+        with pytest.raises(StreamError, match="nothing to watch"):
+            watch_view([])

@@ -15,12 +15,15 @@ import pytest
 from repro.experiments.stream import (
     STREAM_FORMAT,
     StreamError,
+    StreamTailCounter,
     append_record,
     init_stream,
     load_stream,
     make_header,
     make_task_record,
     merge_streams,
+    stream_task_count,
+    union_records,
 )
 
 HASH_A = "a" * 64
@@ -295,3 +298,106 @@ class TestMerge:
         first = out.read_bytes()
         merge_streams(out, [s0, out])
         assert out.read_bytes() == first
+
+
+class TestUnionRecords:
+    """The in-memory half of merge, shared with the live watcher."""
+
+    def test_union_equals_merge_records(self, tmp_path):
+        s0 = new_stream(tmp_path / "s0.jsonl",
+                        records=[record("k1"), record("k2", replicate=1)])
+        s1 = new_stream(tmp_path / "s1.jsonl",
+                        records=[record("k2", replicate=1), record("k3",
+                                                                   replicate=2)])
+        infos = [load_stream(s0, quarantine=False),
+                 load_stream(s1, quarantine=False)]
+        merged = merge_streams(tmp_path / "m.jsonl", [s0, s1])
+        assert union_records(infos) == merged.records
+
+    def test_union_refuses_mixed_specs(self, tmp_path):
+        s0 = new_stream(tmp_path / "s0.jsonl", records=[record("k1")])
+        s1 = new_stream(tmp_path / "s1.jsonl", spec_hash=HASH_B,
+                        records=[record("k2")])
+        infos = [load_stream(s0, quarantine=False),
+                 load_stream(s1, quarantine=False)]
+        with pytest.raises(StreamError, match="same campaign spec"):
+            union_records(infos)
+
+    def test_union_refuses_conflicting_metrics(self, tmp_path):
+        s0 = new_stream(tmp_path / "s0.jsonl",
+                        records=[record("k1", value=1.0)])
+        s1 = new_stream(tmp_path / "s1.jsonl",
+                        records=[record("k1", value=0.5)])
+        infos = [load_stream(s0, quarantine=False),
+                 load_stream(s1, quarantine=False)]
+        with pytest.raises(StreamError, match="disagree"):
+            union_records(infos)
+
+    def test_union_of_nothing_refused(self):
+        with pytest.raises(StreamError, match="nothing to union"):
+            union_records([])
+
+
+class TestStreamTaskCount:
+    """The supervisor's cheap progress probe: complete lines only."""
+
+    def test_counts_records_without_decoding(self, tmp_path):
+        path = new_stream(tmp_path / "s.jsonl",
+                          records=[record("k1"), record("k2", replicate=1)])
+        assert stream_task_count(path) == 2
+
+    def test_missing_and_header_only_count_zero(self, tmp_path):
+        assert stream_task_count(tmp_path / "nope.jsonl") == 0
+        assert stream_task_count(new_stream(tmp_path / "s.jsonl")) == 0
+
+    def test_in_flight_tail_not_counted(self, tmp_path):
+        path = new_stream(tmp_path / "s.jsonl", records=[record("k1")])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "task", "key": "k2", "in-fli')
+        assert stream_task_count(path) == 1
+
+
+class TestStreamTailCounter:
+    """Incremental polling: read only the appended suffix per tick."""
+
+    def test_counts_incrementally(self, tmp_path):
+        path = new_stream(tmp_path / "s.jsonl", records=[record("k1")])
+        counter = StreamTailCounter(path)
+        assert counter.count() == 1
+        append_record(path, record("k2", replicate=1))
+        append_record(path, record("k3", replicate=2))
+        assert counter.count() == 3
+        assert counter.count() == 3  # no growth, no change
+
+    def test_matches_one_shot_count(self, tmp_path):
+        path = new_stream(tmp_path / "s.jsonl")
+        counter = StreamTailCounter(path)
+        for index in range(5):
+            append_record(path, record(f"k{index}", replicate=index))
+            assert counter.count() == stream_task_count(path)
+
+    def test_in_flight_tail_recounted_when_completed(self, tmp_path):
+        path = new_stream(tmp_path / "s.jsonl", records=[record("k1")])
+        counter = StreamTailCounter(path)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "task", "key": "k2"')
+        assert counter.count() == 1  # partial line not counted...
+        with open(path, "a") as handle:
+            handle.write("}\n")
+        assert counter.count() == 2  # ...and not lost either
+
+    def test_missing_file_counts_zero(self, tmp_path):
+        counter = StreamTailCounter(tmp_path / "nope.jsonl")
+        assert counter.count() == 0
+
+    def test_rewritten_shorter_file_recounts(self, tmp_path):
+        # A relaunched worker's resume can repair-and-rewrite the
+        # stream (atomic replace); the counter must start over rather
+        # than trust a stale offset.
+        path = new_stream(tmp_path / "s.jsonl",
+                          records=[record("k1"), record("k2", replicate=1)])
+        counter = StreamTailCounter(path)
+        assert counter.count() == 2
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:2]))  # header + first record
+        assert counter.count() == 1

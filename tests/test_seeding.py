@@ -7,6 +7,7 @@ from repro.seeding import (
     derive_rng,
     derive_seed,
     replicate_seed,
+    shard_sizes,
     stable_shard,
 )
 
@@ -89,3 +90,24 @@ class TestStableShard:
     def test_rejects_bad_count(self):
         with pytest.raises(ValueError):
             stable_shard("k", 0)
+
+
+class TestShardSizes:
+    def test_counts_match_the_partition(self):
+        from collections import Counter
+
+        keys = [f"key-{i}" for i in range(200)]
+        sizes = shard_sizes(keys, 3)
+        expected = Counter(stable_shard(k, 3) for k in keys)
+        assert sizes == [expected[i] for i in range(3)]
+        assert sum(sizes) == len(keys)
+
+    def test_empty_shards_are_zero_not_missing(self):
+        # One key into many shards: exactly one slot is 1, rest 0.
+        sizes = shard_sizes(["only-key"], 8)
+        assert len(sizes) == 8
+        assert sorted(sizes) == [0] * 7 + [1]
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            shard_sizes(["k"], 0)
