@@ -11,12 +11,15 @@ Subcommands:
   on-disk result cache is an opt-in second layer), so interrupted or
   repeated campaigns resume instead of re-simulating.
   ``--shard-index/--shard-count`` runs one deterministic slice of a
-  campaign (multi-machine sweeps); ``campaign orchestrate`` launches
-  and supervises all shards as local worker subprocesses (requeuing a
-  dead worker's remaining tasks); ``campaign watch`` tails the growing
-  streams and re-renders the partial aggregate live; ``campaign
-  merge`` unions shard streams; ``campaign aggregate`` renders the
-  summary table from a stream alone.
+  campaign (multi-machine sweeps); ``--tasks FILE`` runs the explicit
+  task-key list in a scheduler assignment file, re-read between
+  batches; ``campaign orchestrate`` launches and supervises all shards
+  as local worker subprocesses (requeuing a dead worker's remaining
+  tasks; ``--scheduler stealing`` additionally moves unstarted leases
+  from lagging shards onto idle workers); ``campaign watch`` tails the
+  growing streams and re-renders the partial aggregate live;
+  ``campaign merge`` unions shard streams; ``campaign aggregate``
+  renders the summary table from a stream alone.
 - ``list`` — enumerate available experiments and protocols.
 
 Examples::
@@ -34,6 +37,8 @@ Examples::
     repro campaign --suite mobility-x-protocol --effort bench
     repro campaign orchestrate --radii 50,100 --shards 2 \\
         --workers-per-shard 2 --dir RUNDIR
+    repro campaign orchestrate --radii 50,100 --shards 4 \\
+        --scheduler stealing --dir RUNDIR
     repro campaign watch --dir RUNDIR
     repro campaign --radii 50,100 --stream shard0.jsonl \\
         --shard-index 0 --shard-count 2 --cache-dir CACHE
@@ -67,6 +72,7 @@ from repro.experiments.orchestrator import (
     watch_view,
 )
 from repro.experiments.protocols import ProtocolConfig
+from repro.experiments.scheduler import SchedulerError
 from repro.experiments.stream import StreamError, merge_streams
 from repro.experiments.common import (
     BENCH_EFFORT,
@@ -204,6 +210,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "(streams already make orchestrated runs resumable)",
     )
     orch_p.add_argument(
+        "--scheduler",
+        default="static",
+        choices=("static", "stealing"),
+        help="task scheduling policy: 'static' fixes each worker's "
+        "shard at launch; 'stealing' rebalances unstarted leases from "
+        "lagging workers onto idle ones via per-worker assignment "
+        "files (default: static)",
+    )
+    orch_p.add_argument(
+        "--steal-threshold",
+        type=int,
+        default=2,
+        help="minimum unstarted leases (beyond the in-flight window) a "
+        "lagging worker must hold before the stealing scheduler moves "
+        "any (default: 2)",
+    )
+    orch_p.add_argument(
+        "--lease-batch",
+        type=int,
+        default=None,
+        help="task keys a stealing worker takes per assignment-file "
+        "re-read — also the keep window a steal never touches "
+        "(default: --workers-per-shard)",
+    )
+    orch_p.add_argument(
         "--max-attempts",
         type=int,
         default=3,
@@ -246,6 +277,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fire --chaos-kill-shard once the worker's stream holds "
         "this many records (default: 1; 0 kills at launch, "
         "deterministically)",
+    )
+    orch_p.add_argument(
+        "--chaos-slow-shard",
+        type=int,
+        default=None,
+        metavar="INDEX",
+        help="fault injection (tests/CI): run this shard's workers "
+        "under an injected per-task sleep — a simulated slow machine "
+        "the stealing scheduler rebalances around",
+    )
+    orch_p.add_argument(
+        "--chaos-slow-s",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="per-task sleep --chaos-slow-shard injects (default: 0.25)",
     )
     orch_p.add_argument(
         "--quiet", action="store_true", help="suppress supervision events"
@@ -323,6 +370,15 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="total number of shards the campaign is split into",
+    )
+    camp_p.add_argument(
+        "--tasks",
+        default=None,
+        metavar="FILE",
+        help="execute the explicit task-key list in this scheduler "
+        "assignment file, re-reading it between batches (the stealing "
+        "orchestrator's worker mode; requires --stream, conflicts "
+        "with --shard-index/--shard-count)",
     )
     camp_p.add_argument(
         "--heartbeat",
@@ -739,16 +795,26 @@ def _cmd_campaign_orchestrate(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         max_concurrent=args.max_concurrent,
         on_event=None if args.quiet else on_event,
+        scheduler=args.scheduler,
+        lease_batch=args.lease_batch,
+        steal_threshold=args.steal_threshold,
         chaos_kill_shard=args.chaos_kill_shard,
         chaos_kill_after=args.chaos_kill_after,
+        chaos_slow_shard=args.chaos_slow_shard,
+        chaos_slow_s=args.chaos_slow_s,
     )
     print()
     print(outcome.result.render())
     attempts = sum(status.attempts for status in outcome.shards)
+    steals = (
+        f", {outcome.steals} lease(s) stolen"
+        if outcome.scheduler == "stealing"
+        else ""
+    )
     print(
-        f"orchestrated: {args.shards} shard(s), {attempts} worker "
-        f"launch(es), {outcome.requeues} requeue(s); merged stream: "
-        f"{outcome.merged_stream}"
+        f"orchestrated ({outcome.scheduler} scheduler): {args.shards} "
+        f"shard(s), {attempts} worker launch(es), {outcome.requeues} "
+        f"requeue(s){steals}; merged stream: {outcome.merged_stream}"
     )
     return 0
 
@@ -816,15 +882,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "sharded campaigns need --stream: the shard's metrics "
             "stream is what `repro campaign merge` unions"
         )
+    if args.tasks is not None and args.shard_index is not None:
+        raise ValueError(
+            "--tasks and --shard-index/--shard-count both fix the task "
+            "subset; pass one or the other"
+        )
+    if args.tasks is not None and args.stream is None:
+        raise ValueError(
+            "--tasks campaigns need --stream: the stream is how the "
+            "scheduler sees recorded tasks"
+        )
     spec = _campaign_spec_from_args(args)
     n_scenarios = len(spec.scenarios())
     total = n_scenarios * len(spec.protocols) * spec.replicates
-    shard = (
-        f"; shard {args.shard_index + 1}/{args.shard_count} runs its "
-        f"subset of them"
-        if args.shard_index is not None
-        else ""
-    )
+    if args.tasks is not None:
+        shard = "; this worker runs its leased subset of them"
+    elif args.shard_index is not None:
+        shard = (
+            f"; shard {args.shard_index + 1}/{args.shard_count} runs "
+            f"its subset of them"
+        )
+    else:
+        shard = ""
     print(
         f"campaign {spec.name}: {n_scenarios} scenarios x "
         f"{len(spec.protocols)} protocols x {spec.replicates} replicates "
@@ -848,6 +927,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"({source})"
         )
 
+    def on_wait() -> None:
+        # An idle stealing worker polling for leases must still look
+        # alive, or the supervisor's stall detector would kill it.
+        if heartbeat is not None:
+            heartbeat.touch()
+
     result = run_campaign(
         spec,
         workers=args.workers,
@@ -856,6 +941,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         stream_path=args.stream,
         shard_index=args.shard_index,
         shard_count=args.shard_count,
+        tasks_file=args.tasks,
+        on_wait=on_wait if heartbeat is not None else None,
     )
     print()
     print(result.render())
@@ -908,6 +995,11 @@ def main(argv: list[str] | None = None) -> int:
         # A shard kept failing: operational, not bad input — the run
         # dir keeps the shard streams, so a rerun resumes.
         print(f"orchestrator error: {exc}", file=sys.stderr)
+        return 3
+    except SchedulerError as exc:
+        # A worker handed a bad/mismatched assignment file: the
+        # supervisor (or operator) pointed it at the wrong campaign.
+        print(f"scheduler error: {exc}", file=sys.stderr)
         return 3
     except (ValueError, OSError) as exc:
         # Bad user input (unknown protocol, malformed spec/grid, missing

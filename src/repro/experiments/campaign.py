@@ -57,6 +57,7 @@ from repro.experiments.common import ci_of, fmt_ci
 from repro.experiments.protocols import ProtocolConfig, as_protocol_config
 from repro.experiments.runner import available_protocols, run_single
 from repro.experiments.scenarios import Scenario
+from repro.experiments.scheduler import SchedulerError, read_assignment
 from repro.experiments.stream import (
     append_record,
     init_stream,
@@ -71,6 +72,7 @@ from repro.sim.stats import SimulationMetrics
 
 __all__ = [
     "CACHE_FORMAT",
+    "CHAOS_TASK_SLEEP_ENV",
     "CampaignResult",
     "CampaignSpec",
     "ReplicateSpec",
@@ -453,6 +455,22 @@ def _run_task(task: ReplicateTask) -> SimulationMetrics:
     )
 
 
+#: Fault-injection knob for tests and CI: a float number of seconds to
+#: sleep after every finished task.  The orchestrator's
+#: ``--chaos-slow-shard`` sets it in one worker's environment to
+#: simulate a slow machine (the scenario task stealing exists for);
+#: process-pool children inherit it, so every simulation in that worker
+#: is slowed uniformly.
+CHAOS_TASK_SLEEP_ENV = "REPRO_CHAOS_TASK_SLEEP_S"
+
+
+def _chaos_task_sleep() -> float:
+    try:
+        return max(0.0, float(os.environ.get(CHAOS_TASK_SLEEP_ENV, 0.0)))
+    except (TypeError, ValueError):
+        return 0.0
+
+
 def _run_task_timed(task: ReplicateTask) -> tuple[SimulationMetrics, float]:
     """Simulate one task, returning (metrics, wall seconds).
 
@@ -461,6 +479,9 @@ def _run_task_timed(task: ReplicateTask) -> tuple[SimulationMetrics, float]:
     """
     start = time.perf_counter()
     metrics = _run_task(task)
+    delay = _chaos_task_sleep()
+    if delay:
+        time.sleep(delay)
     return metrics, time.perf_counter() - start
 
 
@@ -907,6 +928,9 @@ def run_campaign(
     stream_path: str | Path | None = None,
     shard_index: int | None = None,
     shard_count: int | None = None,
+    tasks_file: str | Path | None = None,
+    wait_interval: float = 0.5,
+    on_wait: Callable[[], None] | None = None,
 ) -> CampaignResult:
     """Execute a declarative campaign and aggregate its grid.
 
@@ -927,7 +951,40 @@ def run_campaign(
     aggregated with :func:`campaign_result_from_stream`.
     :func:`repro.experiments.orchestrator.orchestrate_campaign` wraps
     the whole fan-out (launch shards, supervise, merge) in one call.
+
+    With ``tasks_file``, the worker executes the *explicit task-key
+    list* a scheduler assignment file holds instead of a hash-derived
+    shard: keys run in batches of the file's ``batch`` size, and the
+    file is re-read between batches, so leases the supervisor reclaims
+    (work stealing) are dropped before the worker reaches them and
+    leases it grants mid-run are picked up.  When the file has no
+    pending keys but is not ``closed``, the worker waits (calling
+    ``on_wait`` each ``wait_interval`` poll — the CLI touches its
+    heartbeat there) for more leases; a ``closed`` file with nothing
+    pending ends the run.  Requires ``stream_path`` and conflicts with
+    ``shard_index``/``shard_count``.
     """
+    if tasks_file is not None:
+        if shard_index is not None or shard_count is not None:
+            raise ValueError(
+                "tasks_file and shard_index/shard_count both fix the "
+                "task subset; pass one or the other"
+            )
+        if stream_path is None:
+            raise ValueError(
+                "tasks_file campaigns need stream_path: the stream is "
+                "how the scheduler sees recorded tasks"
+            )
+        return _run_tasks_campaign(
+            spec,
+            tasks_file=tasks_file,
+            stream_path=stream_path,
+            workers=workers,
+            cache_dir=cache_dir,
+            progress=progress,
+            wait_interval=wait_interval,
+            on_wait=on_wait,
+        )
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     # Entry keys feed shard selection and the stream (resume map,
     # records, rebuild); when neither is in play, skip the derivation
@@ -1021,6 +1078,143 @@ def run_campaign(
         for (label, _, _), run_metrics in zip(pending, executed):
             metrics.setdefault(label, []).append(run_metrics)
 
+    return CampaignResult(
+        spec=spec,
+        metrics=metrics,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+        cache_enabled=cache is not None,
+        stream_hits=stream_hits,
+    )
+
+
+def _run_tasks_campaign(
+    spec: CampaignSpec,
+    tasks_file: str | Path,
+    stream_path: str | Path,
+    workers: int,
+    cache_dir: str | Path | None,
+    progress: ProgressCallback | None,
+    wait_interval: float,
+    on_wait: Callable[[], None] | None,
+) -> CampaignResult:
+    """The ``--tasks FILE`` worker loop: lease batches until closed.
+
+    The assignment file is the supervisor's half of the work-stealing
+    protocol (:mod:`repro.experiments.scheduler`); this is the worker's
+    half.  Strictly a reader of the file and an appender to its own
+    stream — all coordination state lives in those two files.
+    """
+    if wait_interval <= 0:
+        raise ValueError("wait_interval must be positive")
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    spec_hash = campaign_spec_hash(spec)
+    entries: list[_CampaignEntry] = []
+    for label, cell_spec in spec.cell_specs():
+        entries.extend(
+            (label, task, task_key(task)) for task in cell_spec.tasks()
+        )
+    by_key = {key: (label, task) for label, task, key in entries}
+
+    info = init_stream(stream_path, spec_hash, spec.to_dict())
+    recorded: set[str] = {record["key"] for record in info.records}
+    #: Keys we have emitted a progress event for (skipped or executed).
+    counted: set[str] = set()
+    stream_hits = 0
+
+    while True:
+        doc = read_assignment(tasks_file)
+        if doc.spec_hash != spec_hash:
+            raise SchedulerError(
+                f"assignment {tasks_file} belongs to spec hash "
+                f"{doc.spec_hash[:12]}..., this campaign is "
+                f"{spec_hash[:12]}...; refusing to mix campaigns"
+            )
+        unknown = [key for key in doc.keys if key not in by_key]
+        if unknown:
+            raise SchedulerError(
+                f"assignment {tasks_file} lists {len(unknown)} task "
+                f"key(s) this campaign does not expand to "
+                f"(first: {unknown[0][:12]}...)"
+            )
+        pending = [key for key in doc.keys if key not in recorded]
+        # `counted` spans every assignment version this worker has seen,
+        # while the supervisor prunes done keys out of the file on each
+        # rewrite — so the honest denominator is "everything ever
+        # counted plus what is pending now", not the file's key count.
+        total = len(counted) + len(pending)
+        for key in doc.keys:
+            if key in recorded and key not in counted:
+                # Already in our stream (resume): skip it, visibly.
+                counted.add(key)
+                stream_hits += 1
+                total = len(counted) + len(pending)
+                if progress is not None:
+                    progress(
+                        TaskProgress(
+                            len(counted), total, by_key[key][1],
+                            cached=True, source="stream",
+                        )
+                    )
+        if not pending:
+            if doc.closed:
+                break
+            if on_wait is not None:
+                on_wait()
+            time.sleep(wait_interval)
+            continue
+
+        batch = pending[: doc.batch]
+        batch_tasks = [by_key[key][1] for key in batch]
+        done_before = len(counted)
+
+        def record(index: int, task: ReplicateTask,
+                   metrics: SimulationMetrics,
+                   cached: bool, wall: float) -> None:
+            append_record(
+                stream_path,
+                make_task_record(
+                    key=batch[index],
+                    scenario=task.scenario.name,
+                    protocol=task.protocol_label,
+                    replicate=task.replicate,
+                    seed=task.scenario.seed,
+                    metrics_json=metrics.to_json(),
+                    cached=cached,
+                    wall_time_s=wall,
+                ),
+            )
+
+        def batch_progress(event: TaskProgress) -> None:
+            if progress is not None:
+                progress(
+                    dataclasses.replace(
+                        event, done=done_before + event.done, total=total
+                    )
+                )
+
+        execute_tasks(
+            batch_tasks,
+            workers=workers,
+            cache=cache,
+            progress=batch_progress if progress is not None else None,
+            record=record,
+        )
+        recorded.update(batch)
+        counted.update(batch)
+
+    # The stream is the source of truth, exactly as in shard mode.  It
+    # may hold keys later stolen *away* from this worker (we ran them
+    # before the lease moved) — still valid records of this campaign.
+    info = load_stream(stream_path, spec_hash, quarantine=False)
+    by_stream = {record["key"]: record for record in info.records}
+    metrics: dict[tuple[str, str], list[SimulationMetrics]] = {}
+    for label, _, key in entries:
+        record_doc = by_stream.get(key)
+        if record_doc is not None:
+            metrics.setdefault(label, []).append(
+                SimulationMetrics.from_json(record_doc["metrics"])
+            )
     return CampaignResult(
         spec=spec,
         metrics=metrics,

@@ -35,9 +35,30 @@ How it works:
   bit-identical to an unsharded run of the same spec, which
   ``tests/experiments/test_equivalence.py`` asserts.
 
-Fault injection (``chaos_kill_shard``) SIGKILLs one shard's first
-worker once its stream holds ``chaos_kill_after`` records; CI's
-chaos-smoke job uses it to prove the requeue path end to end.
+Two schedulers decide *which* tasks each worker runs:
+
+- ``static`` (the PR 4 behaviour): every worker gets ``--shard-index``
+  and owns its :func:`~repro.seeding.stable_shard` partition for the
+  whole run; requeue granularity is a whole shard.
+- ``stealing``: the supervisor keeps a lease board
+  (:mod:`repro.experiments.scheduler`) and hands each worker its
+  current task-key list through an assignment file (``repro campaign
+  --tasks``).  When stream progress shows one shard lagging while
+  another sits idle, unstarted leases move from the laggard to the
+  idle worker — requeue granularity drops to individual tasks, which
+  is what cuts tail latency on sweeps with wildly non-uniform per-cell
+  cost (dense/epidemic cells cost orders of magnitude more than sparse
+  forwarding cells).  Scheduling cannot change results: stolen runs
+  merge to the same streams and aggregates as serial and static runs,
+  asserted in ``tests/experiments/test_equivalence.py``.
+
+Fault injection: ``chaos_kill_shard`` SIGKILLs one shard's first
+worker once its stream holds ``chaos_kill_after`` records (CI's
+chaos-smoke job proves the requeue path with it), and
+``chaos_slow_shard``/``chaos_slow_s`` injects a per-task sleep into
+one worker's environment — a simulated slow machine, which CI's
+steal-smoke job uses to prove stealing beats static sharding on an
+imbalanced run.
 
 :func:`watch_view` is the read side: it unions the (possibly still
 growing) shard streams in memory — ``quarantine=False`` throughout, so
@@ -61,6 +82,7 @@ from typing import Callable, Sequence
 
 from repro.analysis.aggregate import cell_coverage
 from repro.experiments.campaign import (
+    CHAOS_TASK_SLEEP_ENV,
     CampaignResult,
     CampaignSpec,
     campaign_result_from_records,
@@ -68,9 +90,15 @@ from repro.experiments.campaign import (
     campaign_spec_hash,
     task_key,
 )
+from repro.experiments.scheduler import (
+    SCHEDULERS,
+    LeaseBoard,
+    plan_steals,
+)
 from repro.experiments.stream import (
     StreamError,
     StreamTailCounter,
+    StreamTailKeys,
     load_stream,
     merge_streams,
     stream_task_count,
@@ -114,6 +142,10 @@ class ShardStatus:
     requeues: int = 0
     #: Task records its stream held at the last poll.
     recorded: int = 0
+    #: Leases the stealing scheduler reclaimed from this shard (moved
+    #: to an idle worker) / granted to it (stolen from a laggard).
+    stolen_from: int = 0
+    stolen_to: int = 0
     #: ``pending`` | ``running`` | ``done`` | ``empty`` (owns no tasks).
     state: str = "pending"
     exit_codes: list[int] = field(default_factory=list)
@@ -126,11 +158,18 @@ class OrchestratorResult:
     result: CampaignResult
     merged_stream: Path
     shards: list[ShardStatus]
+    #: The scheduling policy the run used (``static`` or ``stealing``).
+    scheduler: str = "static"
 
     @property
     def requeues(self) -> int:
         """Total dead/stalled-worker requeues across all shards."""
         return sum(status.requeues for status in self.shards)
+
+    @property
+    def steals(self) -> int:
+        """Total leases moved between workers by the stealing scheduler."""
+        return sum(status.stolen_from for status in self.shards)
 
 
 def _worker_env() -> dict[str, str]:
@@ -160,7 +199,14 @@ def _worker_command(
     shard_count: int,
     workers_per_shard: int,
     cache_dir: str | Path | None,
+    tasks_file: Path | None = None,
 ) -> list[str]:
+    """The shard-worker subprocess command.
+
+    With ``tasks_file`` (the stealing scheduler), the worker runs the
+    explicit task-key list in its assignment file; otherwise it owns
+    its static ``--shard-index`` partition.
+    """
     command = [
         sys.executable,
         "-m",
@@ -168,10 +214,17 @@ def _worker_command(
         "campaign",
         "--spec",
         str(spec_file),
-        "--shard-index",
-        str(status.index),
-        "--shard-count",
-        str(shard_count),
+    ]
+    if tasks_file is not None:
+        command += ["--tasks", str(tasks_file)]
+    else:
+        command += [
+            "--shard-index",
+            str(status.index),
+            "--shard-count",
+            str(shard_count),
+        ]
+    command += [
         "--stream",
         str(status.stream),
         "--heartbeat",
@@ -183,6 +236,19 @@ def _worker_command(
     if cache_dir is not None:
         command += ["--cache-dir", str(cache_dir)]
     return command
+
+
+def _worker_environment(
+    status: ShardStatus,
+    chaos_slow_shard: int | None,
+    chaos_slow_s: float,
+) -> dict[str, str]:
+    """The worker env, with the chaos per-task sleep injected if this
+    shard is the designated slow one."""
+    env = _worker_env()
+    if chaos_slow_shard == status.index and chaos_slow_s > 0:
+        env[CHAOS_TASK_SLEEP_ENV] = str(chaos_slow_s)
+    return env
 
 
 def _tail(path: Path, lines: int = 15) -> str:
@@ -235,8 +301,13 @@ def orchestrate_campaign(
     max_attempts: int = 3,
     max_concurrent: int | None = None,
     on_event: EventCallback | None = None,
+    scheduler: str = "static",
+    lease_batch: int | None = None,
+    steal_threshold: int = 2,
     chaos_kill_shard: int | None = None,
     chaos_kill_after: int = 1,
+    chaos_slow_shard: int | None = None,
+    chaos_slow_s: float = 0.25,
 ) -> OrchestratorResult:
     """Fan a campaign out over supervised shard workers and collect it.
 
@@ -257,12 +328,28 @@ def orchestrate_campaign(
     shard's log tail.  ``max_concurrent`` caps simultaneous workers
     (default: all ``shards`` at once).
 
+    ``scheduler`` picks the partitioning policy: ``"static"`` fixes
+    each worker's task set at launch (the hash partition), while
+    ``"stealing"`` runs workers off per-shard assignment files and
+    rebalances — when a worker goes idle and another still holds at
+    least ``steal_threshold`` unstarted leases beyond its in-flight
+    window, the supervisor moves half of them over.  ``lease_batch``
+    is the batch size workers take between assignment-file re-reads
+    (default: ``workers_per_shard``, so one batch fills the worker's
+    pool); it is also the keep window a steal never touches.  Results
+    are identical under either scheduler — only the wall-clock shape
+    changes.
+
     ``chaos_kill_shard``/``chaos_kill_after`` are fault injection for
     tests and CI: SIGKILL that shard's *first* worker once its stream
     holds ``chaos_kill_after`` records, then let supervision recover.
     ``chaos_kill_after=0`` kills at launch — deterministic, where the
     mid-run variant races the worker's own completion (if the worker
     wins, a ``chaos: ... finished before the injection`` event says so).
+    ``chaos_slow_shard``/``chaos_slow_s`` injects a per-task sleep of
+    ``chaos_slow_s`` seconds into that shard's workers (all attempts —
+    it simulates a slow *machine*, not a flaky process), the imbalance
+    the steal-smoke job proves the stealing scheduler recovers from.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
@@ -278,11 +365,26 @@ def orchestrate_campaign(
         max_concurrent = shards
     if max_concurrent < 1:
         raise ValueError("max_concurrent must be >= 1")
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}"
+        )
+    if lease_batch is not None and lease_batch < 1:
+        raise ValueError("lease_batch must be >= 1")
+    if steal_threshold < 1:
+        raise ValueError("steal_threshold must be >= 1")
     if chaos_kill_shard is not None and not 0 <= chaos_kill_shard < shards:
         raise ValueError(
             f"chaos_kill_shard must be in [0, {shards}), got "
             f"{chaos_kill_shard}"
         )
+    if chaos_slow_shard is not None and not 0 <= chaos_slow_shard < shards:
+        raise ValueError(
+            f"chaos_slow_shard must be in [0, {shards}), got "
+            f"{chaos_slow_shard}"
+        )
+    if chaos_slow_shard is not None and chaos_slow_s <= 0:
+        raise ValueError("chaos_slow_s must be positive")
 
     def event(message: str) -> None:
         if on_event is not None:
@@ -317,6 +419,30 @@ def orchestrate_campaign(
         )
         for index in range(shards)
     ]
+
+    if scheduler == "stealing":
+        return _orchestrate_stealing(
+            spec_file=spec_file,
+            spec_hash=spec_hash,
+            run_path=run_path,
+            statuses=statuses,
+            keys=keys,
+            shards=shards,
+            workers_per_shard=workers_per_shard,
+            cache_dir=cache_dir,
+            poll_interval=poll_interval,
+            stall_timeout=stall_timeout,
+            max_attempts=max_attempts,
+            max_concurrent=max_concurrent,
+            event=event,
+            lease_batch=lease_batch,
+            steal_threshold=steal_threshold,
+            chaos_kill_shard=chaos_kill_shard,
+            chaos_kill_after=chaos_kill_after,
+            chaos_slow_shard=chaos_slow_shard,
+            chaos_slow_s=chaos_slow_s,
+        )
+
     for status in statuses:
         if status.expected_tasks == 0:
             # A hash partition can leave small campaigns with empty
@@ -366,7 +492,7 @@ def orchestrate_campaign(
             ),
             stdout=handle,
             stderr=subprocess.STDOUT,
-            env=_worker_env(),
+            env=_worker_environment(status, chaos_slow_shard, chaos_slow_s),
             # Own session/process group, so killing a worker also
             # reaps its simulation pool children (see _Worker.kill).
             start_new_session=True,
@@ -508,11 +634,49 @@ def orchestrate_campaign(
             worker.kill()
             worker.close_log()
 
-    merged = run_path / "campaign.jsonl"
     done_streams = [
         status.stream for status in statuses if status.state == "done"
     ]
-    info = merge_streams(merged, done_streams)
+    return _collect(
+        run_path, done_streams, total_tasks, statuses, event, "static"
+    )
+
+
+def _emit_shard_summaries(
+    statuses: Sequence[ShardStatus], event: EventCallback
+) -> None:
+    """One final per-shard accounting line each, before the merge.
+
+    Requeues used to be the only rebalancing that surfaced; CI
+    assertions and ``watch`` users also need attempt counts and steal
+    traffic without grepping worker logs.
+    """
+    for status in statuses:
+        steals = ""
+        if status.stolen_from or status.stolen_to:
+            steals = (
+                f", {status.stolen_from} lease(s) stolen away, "
+                f"{status.stolen_to} stolen in"
+            )
+        event(
+            f"summary: shard {status.index}: {status.attempts} "
+            f"attempt(s), {status.requeues} requeue(s){steals}, "
+            f"{status.recorded} task record(s) in stream"
+        )
+
+
+def _collect(
+    run_path: Path,
+    streams: Sequence[Path],
+    total_tasks: int,
+    statuses: list[ShardStatus],
+    event: EventCallback,
+    scheduler: str,
+) -> OrchestratorResult:
+    """The shared endgame: summaries, merge, completeness check."""
+    _emit_shard_summaries(statuses, event)
+    merged = run_path / "campaign.jsonl"
+    info = merge_streams(merged, streams)
     if len(info.records) != total_tasks:
         raise OrchestratorError(
             f"merged stream holds {len(info.records)} records, expected "
@@ -520,13 +684,307 @@ def orchestrate_campaign(
             f"({info.quarantined} undecodable line(s) skipped)"
         )
     event(
-        f"merged {len(done_streams)} shard stream(s) -> {merged} "
+        f"merged {len(streams)} shard stream(s) -> {merged} "
         f"({len(info.records)} task records)"
     )
     return OrchestratorResult(
         result=campaign_result_from_stream(merged),
         merged_stream=merged,
         shards=statuses,
+        scheduler=scheduler,
+    )
+
+
+def _orchestrate_stealing(
+    spec_file: Path,
+    spec_hash: str,
+    run_path: Path,
+    statuses: list[ShardStatus],
+    keys: list[str],
+    shards: int,
+    workers_per_shard: int,
+    cache_dir: str | Path | None,
+    poll_interval: float,
+    stall_timeout: float,
+    max_attempts: int,
+    max_concurrent: int,
+    event: EventCallback,
+    lease_batch: int | None,
+    steal_threshold: int,
+    chaos_kill_shard: int | None,
+    chaos_kill_after: int,
+    chaos_slow_shard: int | None,
+    chaos_slow_s: float,
+) -> OrchestratorResult:
+    """The stealing scheduler's supervision loop.
+
+    Structure mirrors the static loop (launch, poll, stall/chaos
+    handling, requeue, merge), with three differences: workers run off
+    assignment files instead of shard indices, per-shard completion is
+    "every lease this worker still holds is recorded *somewhere*"
+    instead of a fixed stream count, and an extra rebalancing step
+    moves unstarted leases from laggards to idle workers each tick.
+    Every shard launches a worker — even one whose initial partition is
+    empty is a steal target.
+    """
+    total_tasks = len(keys)
+    # Resume: anything any existing stream records is done for good;
+    # the lease board never hands those keys out again.  Validating
+    # every stream against the spec hash up front fails a mismatched
+    # run_dir reuse here, not worker by worker.
+    pre_done: set[str] = set()
+    seen: dict[int, set[str]] = {status.index: set() for status in statuses}
+    for status in statuses:
+        if status.stream.exists() and status.stream.stat().st_size > 0:
+            info = load_stream(
+                status.stream, expected_spec_hash=spec_hash,
+                quarantine=False,
+            )
+            stream_keys = info.keys()
+            pre_done |= stream_keys
+            seen[status.index] = stream_keys
+            status.recorded = len(info.records)
+            if status.recorded:
+                event(
+                    f"shard {status.index}: resuming, stream already "
+                    f"holds {status.recorded} task record(s)"
+                )
+
+    batch = lease_batch if lease_batch is not None else workers_per_shard
+    board = LeaseBoard(
+        keys,
+        workers=shards,
+        run_dir=run_path,
+        spec_hash=spec_hash,
+        batch=batch,
+        done=pre_done,
+    )
+    for status in statuses:
+        event(
+            f"shard {status.index}: leased "
+            f"{len(board.remaining(status.index))} task(s) initially"
+        )
+
+    queue: deque[ShardStatus] = deque(statuses)
+    running: list[_Worker] = []
+    tailers = {
+        status.index: StreamTailKeys(status.stream) for status in statuses
+    }
+    chaos_pending = chaos_kill_shard is not None
+    closed = False
+    last_progress = -1
+
+    def ingest(status: ShardStatus) -> None:
+        """Fold a stream's newly appended records into the board."""
+        for key in tailers[status.index].poll():
+            seen[status.index].add(key)
+            board.record_done(key)
+        status.recorded = len(seen[status.index])
+
+    def launch(status: ShardStatus) -> None:
+        nonlocal chaos_pending
+        status.attempts += 1
+        status.state = "running"
+        # Arm the stall clock at launch: a worker that wedges before
+        # its first task still trips the timeout.
+        status.heartbeat.touch()
+        handle = open(status.log, "a", encoding="utf-8")
+        handle.write(f"--- attempt {status.attempts} ---\n")
+        handle.flush()
+        process = subprocess.Popen(
+            _worker_command(
+                spec_file, status, shards, workers_per_shard, cache_dir,
+                tasks_file=board.path(status.index),
+            ),
+            stdout=handle,
+            stderr=subprocess.STDOUT,
+            env=_worker_environment(status, chaos_slow_shard, chaos_slow_s),
+            # Own session/process group, so killing a worker also
+            # reaps its simulation pool children (see _Worker.kill).
+            start_new_session=True,
+        )
+        running.append(_Worker(status, process, handle, time.monotonic()))
+        event(
+            f"launched shard {status.index} attempt {status.attempts} "
+            f"(pid {process.pid}, "
+            f"{len(board.remaining(status.index))} leased task(s))"
+        )
+        if (
+            chaos_pending
+            and status.index == chaos_kill_shard
+            and status.attempts == 1
+            and chaos_kill_after <= len(seen[status.index])
+        ):
+            process.kill()
+            chaos_pending = False
+            event(
+                f"chaos: SIGKILL shard {status.index} worker "
+                f"(pid {process.pid}) at launch"
+            )
+
+    def abort(status: ShardStatus, why: str) -> None:
+        for worker in running:
+            worker.kill()
+            worker.close_log()
+        running.clear()
+        raise OrchestratorError(
+            f"shard {status.index} {why} after {status.attempts} launch "
+            f"attempt(s) (exit codes {status.exit_codes}); giving up.\n"
+            f"--- tail of {status.log} ---\n{_tail(status.log)}"
+        )
+
+    try:
+        while True:
+            if board.complete and not closed:
+                closed = True
+                board.close_all()
+                # Slots still waiting to (re)launch have nothing left
+                # to do — their leases finished elsewhere.
+                for status in queue:
+                    status.state = "done"
+                queue.clear()
+                event(
+                    f"all {total_tasks} task(s) recorded; closing "
+                    f"assignments so idle workers exit"
+                )
+            if not closed:
+                while queue and len(running) < max_concurrent:
+                    launch(queue.popleft())
+            if not running and not queue:
+                if closed:
+                    break
+                # Defensive: every worker done/aborted yet tasks remain.
+                missing = total_tasks - len(board.done)
+                raise OrchestratorError(
+                    f"no workers left but {missing} task(s) never "
+                    f"recorded; shard streams are incomplete"
+                )
+            time.sleep(poll_interval)
+            for status in statuses:
+                ingest(status)
+            for worker in list(running):
+                status = worker.status
+                return_code = worker.process.poll()
+                if (
+                    chaos_pending
+                    and status.index == chaos_kill_shard
+                    and status.attempts == 1
+                    and len(seen[status.index]) >= chaos_kill_after
+                    and return_code is None
+                ):
+                    worker.kill()
+                    chaos_pending = False
+                    event(
+                        f"chaos: SIGKILL shard {status.index} worker "
+                        f"(pid {worker.process.pid}) after "
+                        f"{status.recorded} recorded task(s)"
+                    )
+                    return_code = worker.process.poll()
+                if return_code is None:
+                    try:
+                        heartbeat_age = (
+                            time.time() - status.heartbeat.stat().st_mtime
+                        )
+                    except OSError:
+                        heartbeat_age = time.monotonic() - worker.launched_at
+                    if heartbeat_age > stall_timeout:
+                        event(
+                            f"shard {status.index} stalled (no heartbeat "
+                            f"for {heartbeat_age:.0f}s); killing worker "
+                            f"pid {worker.process.pid}"
+                        )
+                        worker.kill()
+                        return_code = worker.process.poll()
+                if return_code is None:
+                    continue
+                if (
+                    chaos_pending
+                    and status.index == chaos_kill_shard
+                    and status.attempts == 1
+                ):
+                    chaos_pending = False
+                    event(
+                        f"chaos: shard {status.index} worker finished "
+                        f"before the injection could fire; nothing killed"
+                    )
+                running.remove(worker)
+                worker.close_log()
+                status.exit_codes.append(return_code)
+                ingest(status)
+                remaining = board.remaining(status.index)
+                if not remaining:
+                    # Every lease it held is recorded (here or, after a
+                    # steal race, in another worker's stream): done,
+                    # whatever the exit code says.
+                    status.state = "done"
+                    event(
+                        f"shard {status.index} done "
+                        f"({status.recorded} task record(s) in stream)"
+                    )
+                    continue
+                if status.attempts >= max_attempts:
+                    abort(
+                        status,
+                        "kept failing" if return_code != 0
+                        else "exits cleanly but leases stay unrecorded",
+                    )
+                status.requeues += 1
+                status.state = "pending"
+                queue.append(status)
+                cause = (
+                    f"worker died (exit {return_code})"
+                    if return_code != 0
+                    else "worker exited with unrecorded leases"
+                )
+                event(
+                    f"shard {status.index} {cause}; requeuing the slot — "
+                    f"its {len(remaining)} remaining lease(s) stay "
+                    f"stealable meanwhile"
+                )
+            if not closed:
+                alive = {
+                    worker.status.index
+                    for worker in running
+                    if worker.process.poll() is None
+                }
+                idle = [
+                    index for index in sorted(alive)
+                    if not board.remaining(index)
+                ]
+                busy = [
+                    status.index for status in statuses
+                    if board.remaining(status.index)
+                ]
+                for victim, thief, count in plan_steals(
+                    board, idle, busy, steal_threshold
+                ):
+                    moved = board.steal(victim, thief, count)
+                    if not moved:
+                        continue
+                    statuses[victim].stolen_from += len(moved)
+                    statuses[thief].stolen_to += len(moved)
+                    event(
+                        f"steal: moved {len(moved)} unstarted lease(s) "
+                        f"from lagging shard {victim} to idle shard "
+                        f"{thief} ({len(board.remaining(victim))} "
+                        f"remain with {victim})"
+                    )
+            progress = len(board.done)
+            if progress != last_progress:
+                event(f"progress: {progress}/{total_tasks} tasks recorded")
+                last_progress = progress
+    finally:
+        for worker in running:
+            worker.kill()
+            worker.close_log()
+
+    streams = [
+        status.stream
+        for status in statuses
+        if status.stream.exists() and status.stream.stat().st_size > 0
+    ]
+    return _collect(
+        run_path, streams, total_tasks, statuses, event, "stealing"
     )
 
 

@@ -1,0 +1,367 @@
+"""Lease-based task scheduling for orchestrated campaigns.
+
+PR 4's orchestrator fixed each worker's task set at launch with
+:func:`repro.seeding.stable_shard`: requeue granularity was a whole
+shard, so one slow or unlucky shard could grind alone while every other
+worker sat idle.  This module drops that granularity to individual
+tasks:
+
+- The supervisor owns a :class:`LeaseBoard`: every task key of the
+  campaign, which worker currently holds its lease, and which keys are
+  already recorded in *some* worker's stream.  The initial assignment is
+  exactly the :func:`repro.seeding.shard_partition` split, so a run in
+  which no steal ever fires is byte-for-byte the static-shard run.
+- Each worker's current lease set lives in an **assignment file** next
+  to its stream (``shard<i>.tasks.json``), atomically rewritten by the
+  supervisor and only ever *read* by the worker (``repro campaign
+  --tasks FILE``).  The worker executes its keys in small batches and
+  re-reads the file between batches, so a key the supervisor reclaims
+  is dropped before the worker reaches it.  The file is the whole
+  protocol — no sockets, no IPC — which keeps the worker launchable by
+  anything that can write a file (the future cross-machine step).
+- When stream progress shows one worker lagging while another is idle,
+  :func:`plan_steals` moves unstarted leases from the laggard to the
+  idle worker.  The victim keeps a *keep window* of ``batch`` keys it
+  may have already snapshotted for its current batch; everything beyond
+  that is reclaimable.  A steal can still race the victim's snapshot —
+  both workers then run the task — but tasks are deterministic, both
+  streams record identical metrics, and the merge deduplicates by key,
+  so a lost race costs one duplicate simulation, never correctness.
+
+Scheduling therefore cannot change results, only wall-clock shape —
+``tests/experiments/test_equivalence.py`` asserts stolen/rebalanced
+runs merge to the same streams and aggregates as serial and
+statically sharded runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.seeding import shard_partition
+
+__all__ = [
+    "Assignment",
+    "LeaseBoard",
+    "SchedulerError",
+    "ASSIGNMENT_FORMAT",
+    "SCHEDULERS",
+    "assignment_path",
+    "plan_steals",
+    "read_assignment",
+    "write_assignment",
+]
+
+#: The scheduling policies ``orchestrate_campaign`` accepts.
+SCHEDULERS = ("static", "stealing")
+
+#: Bump when the assignment-file schema changes incompatibly.
+ASSIGNMENT_FORMAT = 1
+
+
+class SchedulerError(RuntimeError):
+    """An assignment file is unusable (missing, damaged, wrong campaign)."""
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One worker's current lease set, as read from its assignment file."""
+
+    path: Path
+    worker: int
+    spec_hash: str
+    keys: tuple[str, ...]
+    #: Keys per batch the worker should take between file re-reads.
+    batch: int
+    #: No further leases will arrive; finish ``keys`` and exit.
+    closed: bool
+    #: Monotonic rewrite counter (diagnostics; workers do not need it).
+    version: int
+
+
+def assignment_path(run_dir: str | Path, worker: int) -> Path:
+    """Where worker ``worker``'s assignment file lives in a run dir."""
+    return Path(run_dir) / f"shard{worker}.tasks.json"
+
+
+def write_assignment(
+    path: str | Path,
+    worker: int,
+    spec_hash: str,
+    keys: Sequence[str],
+    batch: int,
+    closed: bool = False,
+    version: int = 0,
+) -> None:
+    """Atomically (re)write one worker's assignment file.
+
+    Atomic replace means a worker re-reading between batches sees either
+    the old lease set or the new one, never a torn mix — the same
+    temp-file+rename discipline the stream repair path uses.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "kind": "assignment",
+        "format": ASSIGNMENT_FORMAT,
+        "worker": worker,
+        "spec_hash": spec_hash,
+        "batch": batch,
+        "closed": closed,
+        "version": version,
+        "keys": list(keys),
+    }
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def read_assignment(path: str | Path) -> Assignment:
+    """Load and validate an assignment file.
+
+    Any unreadable or malformed file raises :class:`SchedulerError`:
+    unlike a stream's torn tail, an assignment file is atomically
+    replaced as a whole, so damage means misuse (wrong path, manual
+    edit), not a crash to be repaired around.
+    """
+    target = Path(path)
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        raise SchedulerError(
+            f"cannot read assignment file {target}: {exc}"
+        ) from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("kind") != "assignment"
+        or document.get("format") != ASSIGNMENT_FORMAT
+    ):
+        raise SchedulerError(
+            f"{target} is not a scheduler assignment file "
+            f"(format {ASSIGNMENT_FORMAT})"
+        )
+    keys = document.get("keys")
+    if not isinstance(keys, list) or not all(
+        isinstance(key, str) for key in keys
+    ):
+        raise SchedulerError(f"{target} has a malformed task-key list")
+    if len(set(keys)) != len(keys):
+        raise SchedulerError(f"{target} lists a task key twice")
+    batch = document.get("batch")
+    if not isinstance(batch, int) or batch < 1:
+        raise SchedulerError(f"{target} has a malformed batch size")
+    if not isinstance(document.get("spec_hash"), str):
+        raise SchedulerError(f"{target} has a malformed spec hash")
+    return Assignment(
+        path=target,
+        worker=int(document.get("worker", -1)),
+        spec_hash=document["spec_hash"],
+        keys=tuple(keys),
+        batch=batch,
+        closed=bool(document.get("closed", False)),
+        version=int(document.get("version", 0)),
+    )
+
+
+class LeaseBoard:
+    """Supervisor-side bookkeeping: who holds which task, what is done.
+
+    The board is the single writer of every assignment file.  It starts
+    from the :func:`repro.seeding.shard_partition` split (minus keys a
+    resumed run dir already records), moves leases between workers on
+    :meth:`steal`, folds stream progress in through :meth:`record_done`,
+    and closes every file once the whole campaign is recorded so idle
+    workers exit cleanly.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[str],
+        workers: int,
+        run_dir: str | Path,
+        spec_hash: str,
+        batch: int = 1,
+        done: Iterable[str] = (),
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if len(set(keys)) != len(keys):
+            raise ValueError("task keys must be unique")
+        self.run_dir = Path(run_dir)
+        self.spec_hash = spec_hash
+        self.batch = batch
+        self.keys = tuple(keys)
+        self.done: set[str] = set(done) & set(keys)
+        self.closed = False
+        self._versions = [0] * workers
+        # The static split is the starting point; keys a resumed run
+        # dir already records are never leased at all.
+        self.assignments: list[list[str]] = [
+            [key for key in part if key not in self.done]
+            for part in shard_partition(keys, workers)
+        ]
+        for worker in range(workers):
+            self._write(worker)
+
+    @property
+    def workers(self) -> int:
+        return len(self.assignments)
+
+    def path(self, worker: int) -> Path:
+        """Worker ``worker``'s assignment file."""
+        return assignment_path(self.run_dir, worker)
+
+    def _write(self, worker: int) -> None:
+        # Keys already recorded are pruned from the written view: a
+        # steal race can leave a key recorded in worker A's stream but
+        # still leased to worker B, and pruning stops B from running it
+        # a second time.  (B's *own* recorded keys are pruned too —
+        # harmless, its stream already skips them.)
+        write_assignment(
+            self.path(worker),
+            worker=worker,
+            spec_hash=self.spec_hash,
+            keys=[
+                key for key in self.assignments[worker]
+                if key not in self.done
+            ],
+            batch=self.batch,
+            closed=self.closed,
+            version=self._versions[worker],
+        )
+
+    def record_done(self, key: str) -> None:
+        """Fold one recorded task key (from any worker's stream) in."""
+        if key in self.keys:
+            self.done.add(key)
+
+    @property
+    def complete(self) -> bool:
+        """Every task of the campaign is recorded in some stream."""
+        return len(self.done) >= len(self.keys)
+
+    def remaining(self, worker: int) -> list[str]:
+        """``worker``'s leased keys not yet recorded anywhere."""
+        return [
+            key for key in self.assignments[worker] if key not in self.done
+        ]
+
+    def stealable(self, worker: int) -> list[str]:
+        """``worker``'s reclaimable keys: remaining minus the keep window.
+
+        The first ``batch`` remaining keys stay with the worker — it may
+        have snapshotted them for the batch it is executing right now.
+        Everything beyond that it has provably not started (it re-reads
+        the file before each batch), so moving them cannot waste work.
+        """
+        return self.remaining(worker)[self.batch:]
+
+    def steal(self, victim: int, thief: int, count: int) -> list[str]:
+        """Move up to ``count`` unstarted leases from victim to thief.
+
+        Keys move from the *tail* of the victim's stealable range (the
+        work it would reach last) onto the end of the thief's
+        assignment; both files are atomically rewritten.  Returns the
+        moved keys (possibly empty).
+        """
+        if victim == thief:
+            raise ValueError("cannot steal from a worker to itself")
+        if count < 1:
+            return []
+        stealable = self.stealable(victim)
+        moved = stealable[max(0, len(stealable) - count):]
+        if not moved:
+            return []
+        moving = set(moved)
+        self.assignments[victim] = [
+            key for key in self.assignments[victim] if key not in moving
+        ]
+        self.assignments[thief].extend(moved)
+        self._versions[victim] += 1
+        self._versions[thief] += 1
+        self._write(victim)
+        self._write(thief)
+        return moved
+
+    def reclaim(self, worker: int) -> list[str]:
+        """Take *all* of a dead worker's undone leases back (no window).
+
+        Unlike :meth:`steal`, there is no keep window: the worker is
+        gone, so nothing is in flight.  The caller re-leases the
+        returned keys (typically back to the same slot for a relaunch,
+        or across survivors when the slot is abandoned).
+        """
+        remaining = self.remaining(worker)
+        self.assignments[worker] = []
+        self._versions[worker] += 1
+        self._write(worker)
+        return remaining
+
+    def lease(self, worker: int, keys: Sequence[str]) -> None:
+        """Append ``keys`` to ``worker``'s assignment (requeue/re-lease)."""
+        if not keys:
+            return
+        held = set(self.assignments[worker])
+        fresh = [key for key in keys if key not in held]
+        if not fresh:
+            return
+        self.assignments[worker].extend(fresh)
+        self._versions[worker] += 1
+        self._write(worker)
+
+    def close_all(self) -> None:
+        """Mark every assignment closed so idle workers exit cleanly."""
+        self.closed = True
+        for worker in range(self.workers):
+            self._versions[worker] += 1
+            self._write(worker)
+
+
+def plan_steals(
+    board: LeaseBoard,
+    idle: Sequence[int],
+    busy: Sequence[int],
+    threshold: int = 2,
+) -> list[tuple[int, int, int]]:
+    """Decide which steals to perform this supervision tick.
+
+    ``idle`` are live workers with no remaining leases; ``busy`` are
+    live workers that still hold work.  For each idle worker, the
+    busiest victim (most stealable keys) gives up half of its stealable
+    range — halving converges: repeated ticks keep rebalancing until
+    the tail is spread across every idle worker.  A victim with fewer
+    than ``threshold`` stealable keys is left alone (the imbalance
+    knob: below it, moving work costs more supervision churn than the
+    tail latency it saves).  Returns ``(victim, thief, count)`` tuples;
+    the caller executes them with :meth:`LeaseBoard.steal`.
+
+    Pure planning over board state — no I/O — so zero-steal behaviour
+    (balanced shards plan nothing) is a unit-testable property.
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    plan: list[tuple[int, int, int]] = []
+    stealable_counts = {worker: len(board.stealable(worker)) for worker in busy}
+    for thief in idle:
+        victim = max(
+            stealable_counts,
+            key=lambda worker: (stealable_counts[worker], -worker),
+            default=None,
+        )
+        if victim is None or stealable_counts[victim] < threshold:
+            continue
+        count = math.ceil(stealable_counts[victim] / 2)
+        plan.append((victim, thief, count))
+        stealable_counts[victim] -= count
+    return plan

@@ -293,45 +293,104 @@ def stream_task_count(path: str | Path) -> int:
     return max(0, lines - 1)
 
 
+class _TailCursor:
+    """The shared suffix-reading mechanics of the stream tail pollers.
+
+    One delicate invariant, implemented once: read only the bytes
+    appended since the last call, never advance past the last complete
+    line (an in-flight tail is re-examined next time, not mis-read),
+    and start over when the file shrinks or vanishes (a relaunched
+    worker's resume repaired a torn tail and atomically rewrote the
+    stream).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+
+    def advance(self) -> tuple[bytes, bool]:
+        """``(newly completed line bytes, started_over)``.
+
+        ``started_over`` is True when the cursor reset to byte zero
+        (shrunk or missing file), in which case the returned bytes —
+        this call's or a later one's — re-cover content a previous
+        call already returned.
+        """
+        try:
+            size = os.stat(self.path).st_size
+        except OSError:
+            reset = self._offset > 0
+            self._offset = 0
+            return b"", reset
+        reset = False
+        if size < self._offset:
+            self._offset = 0
+            reset = True
+        if size <= self._offset:
+            return b"", reset
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read(size - self._offset)
+        last_newline = chunk.rfind(b"\n")
+        if last_newline < 0:
+            return b"", reset
+        self._offset += last_newline + 1
+        return chunk[: last_newline + 1], reset
+
+
 class StreamTailCounter:
     """Incremental :func:`stream_task_count` for an append-only stream.
 
     A supervisor polls worker streams several times a second for the
     whole campaign; re-reading a growing file from byte zero each tick
     would make supervision I/O quadratic in stream size.  This counter
-    remembers how far it has read and counts only the appended suffix
-    — and it never advances past the last complete line, so an
-    in-flight tail is re-examined (not mis-counted) on the next poll.
-    If the file shrinks (a relaunched worker's resume repaired a torn
-    tail and atomically rewrote the stream), the counter starts over.
+    counts only the appended suffix (see :class:`_TailCursor` for the
+    offset discipline) and recounts from scratch when the stream was
+    rewritten shorter underneath it.
     """
 
     def __init__(self, path: str | Path) -> None:
-        self.path = Path(path)
-        self._offset = 0
+        self._cursor = _TailCursor(path)
+        self.path = self._cursor.path
         self._newlines = 0
 
     def count(self) -> int:
         """Complete task lines in the stream right now (header excluded)."""
-        try:
-            size = os.stat(self.path).st_size
-        except OSError:
-            self._offset = 0
+        chunk, reset = self._cursor.advance()
+        if reset:
             self._newlines = 0
-            return 0
-        if size < self._offset:
-            # Rewritten shorter underneath us: recount from scratch.
-            self._offset = 0
-            self._newlines = 0
-        if size > self._offset:
-            with open(self.path, "rb") as handle:
-                handle.seek(self._offset)
-                chunk = handle.read(size - self._offset)
-            last_newline = chunk.rfind(b"\n")
-            if last_newline >= 0:
-                self._offset += last_newline + 1
-                self._newlines += chunk.count(b"\n", 0, last_newline + 1)
+        self._newlines += chunk.count(b"\n")
         return max(0, self._newlines - 1)
+
+
+class StreamTailKeys:
+    """Incremental reader of the task *keys* appended to a live stream.
+
+    The work-stealing supervisor needs more than a line count: deciding
+    which leases are safe to reclaim from a slow worker requires knowing
+    *which* tasks its stream already records.  Built on the same
+    :class:`_TailCursor` suffix discipline as :class:`StreamTailCounter`.
+    Complete lines that do not decode into a task record (the header,
+    damage) are skipped — classifying damage is the writer's resume
+    path's job, not the supervisor's.  After a shrink-reset, keys are
+    re-emitted from scratch; callers keep keys in a set, so that is
+    harmless.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._cursor = _TailCursor(path)
+        self.path = self._cursor.path
+
+    def poll(self) -> list[str]:
+        """Task keys on complete lines appended since the last poll."""
+        chunk, _ = self._cursor.advance()
+        keys = []
+        for raw in chunk.splitlines():
+            line = raw.decode("utf-8", errors="surrogateescape")
+            record = _parse_line(line)
+            if record is not None and record["kind"] == "task":
+                keys.append(record["key"])
+        return keys
 
 
 def union_records(infos: Sequence[StreamInfo]) -> list[dict]:

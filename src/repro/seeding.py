@@ -59,6 +59,25 @@ def stable_shard(key: str, shard_count: int) -> int:
     return int.from_bytes(digest[:8], "big") % shard_count
 
 
+def shard_partition(
+    keys: Iterable[str], shard_count: int
+) -> list[list[str]]:
+    """Partition ``keys`` into per-shard lists (index ``i`` -> its keys).
+
+    The materialised form of :func:`stable_shard`: every key lands in
+    exactly one shard's list, in input order.  This is the *initial*
+    assignment the work-stealing scheduler starts every worker from, so
+    a campaign where no steal ever fires is, by construction, the same
+    partition a static ``--shard-index/--shard-count`` run executes.
+    """
+    if shard_count < 1:
+        raise ValueError("shard count must be >= 1")
+    parts: list[list[str]] = [[] for _ in range(shard_count)]
+    for key in keys:
+        parts[stable_shard(key, shard_count)].append(key)
+    return parts
+
+
 def shard_sizes(keys: Iterable[str], shard_count: int) -> list[int]:
     """How many of ``keys`` each shard owns (index ``i`` -> count).
 
@@ -69,9 +88,4 @@ def shard_sizes(keys: Iterable[str], shard_count: int) -> list[int]:
     nature (it is a hash split, not round-robin), so per-shard totals
     must be computed, not divided.
     """
-    if shard_count < 1:
-        raise ValueError("shard count must be >= 1")
-    sizes = [0] * shard_count
-    for key in keys:
-        sizes[stable_shard(key, shard_count)] += 1
-    return sizes
+    return [len(part) for part in shard_partition(keys, shard_count)]

@@ -723,7 +723,7 @@ class TestOrchestrateCli:
         out = capsys.readouterr().out
         assert "orchestrating campaign cli-orch" in out
         assert "2 simulations" in out
-        assert "orchestrated: 2 shard(s)" in out
+        assert "orchestrated (static scheduler): 2 shard(s)" in out
         assert (tmp_path / "run" / "campaign.jsonl").exists()
         assert "cli-orch/radius=100.0" in out
 
@@ -738,6 +738,200 @@ class TestOrchestrateCli:
         args[args.index("--shards") + 1] = "0"
         assert main(args) == 2
         assert "shards" in capsys.readouterr().err
+
+    def test_orchestrate_stealing_runs_and_reports(self, capsys, tmp_path):
+        code = main(
+            self._args(
+                tmp_path / "steal",
+                "--scheduler",
+                "stealing",
+                "--steal-threshold",
+                "1",
+                "--lease-batch",
+                "1",
+            )
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "orchestrated (stealing scheduler): 2 shard(s)" in out
+        assert "lease(s) stolen" in out
+        assert "summary: shard 0" in out
+        assert (tmp_path / "steal" / "campaign.jsonl").exists()
+        assert (tmp_path / "steal" / "shard0.tasks.json").exists()
+
+    def test_orchestrate_unknown_scheduler_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):  # argparse choices
+            main(self._args(tmp_path, "--scheduler", "round-robin"))
+
+    def test_orchestrate_chaos_slow_validated(self, capsys, tmp_path):
+        args = self._args(
+            tmp_path, "--chaos-slow-shard", "5", "--chaos-slow-s", "0.1"
+        )
+        assert main(args) == 2
+        assert "chaos_slow_shard" in capsys.readouterr().err
+
+
+class TestTasksCli:
+    """`repro campaign --tasks FILE`: the stealing scheduler's worker
+    mode, driven directly against a hand-written assignment file."""
+
+    def _spec_and_keys(self):
+        from repro.experiments.campaign import (
+            CampaignSpec,
+            campaign_spec_hash,
+            task_key,
+        )
+        from repro.experiments.scenarios import Scenario
+
+        spec = CampaignSpec(
+            name="cli-tasks",
+            base=Scenario(
+                name="cli-tasks",
+                n_nodes=10,
+                active_nodes=5,
+                message_count=2,
+                sim_time=15.0,
+                seed=3,
+            ),
+            protocols=("glr",),
+            replicates=2,
+        )
+        keys = [
+            task_key(task)
+            for _, cell_spec in spec.cell_specs()
+            for task in cell_spec.tasks()
+        ]
+        return spec, campaign_spec_hash(spec), keys
+
+    def _write_spec(self, tmp_path, spec):
+        import json as jsonlib
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(jsonlib.dumps(spec.to_dict()))
+        return spec_file
+
+    def _run_args(self, spec_file, tasks_file, stream, *extra):
+        return [
+            "campaign",
+            "--spec",
+            str(spec_file),
+            "--tasks",
+            str(tasks_file),
+            "--stream",
+            str(stream),
+            "--quiet",
+            *extra,
+        ]
+
+    def test_executes_exactly_the_listed_tasks(self, capsys, tmp_path):
+        from repro.experiments.scheduler import write_assignment
+        from repro.experiments.stream import load_stream
+
+        spec, spec_hash, keys = self._spec_and_keys()
+        spec_file = self._write_spec(tmp_path, spec)
+        tasks_file = tmp_path / "w0.tasks.json"
+        write_assignment(
+            tasks_file, 0, spec_hash, keys[:1], batch=1, closed=True
+        )
+        stream = tmp_path / "w0.jsonl"
+        assert main(self._run_args(spec_file, tasks_file, stream)) == 0
+        out = capsys.readouterr().out
+        assert "leased subset" in out
+        info = load_stream(stream, quarantine=False)
+        assert [r["key"] for r in info.records] == keys[:1]
+
+    def test_reruns_skip_recorded_tasks(self, capsys, tmp_path):
+        from repro.experiments.scheduler import write_assignment
+        from repro.experiments.stream import load_stream
+
+        spec, spec_hash, keys = self._spec_and_keys()
+        spec_file = self._write_spec(tmp_path, spec)
+        tasks_file = tmp_path / "w0.tasks.json"
+        write_assignment(
+            tasks_file, 0, spec_hash, keys, batch=2, closed=True
+        )
+        stream = tmp_path / "w0.jsonl"
+        assert main(self._run_args(spec_file, tasks_file, stream)) == 0
+        before = stream.read_bytes()
+        capsys.readouterr()
+        assert main(self._run_args(spec_file, tasks_file, stream)) == 0
+        assert "stream: 2 tasks resumed" in capsys.readouterr().out
+        assert stream.read_bytes() == before
+        assert len(load_stream(stream, quarantine=False).records) == len(
+            keys
+        )
+
+    def test_requires_stream(self, capsys, tmp_path):
+        spec, spec_hash, keys = self._spec_and_keys()
+        spec_file = self._write_spec(tmp_path, spec)
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--spec",
+                    str(spec_file),
+                    "--tasks",
+                    str(tmp_path / "w0.tasks.json"),
+                ]
+            )
+            == 2
+        )
+        assert "--stream" in capsys.readouterr().err
+
+    def test_conflicts_with_shard_flags(self, capsys, tmp_path):
+        spec, spec_hash, keys = self._spec_and_keys()
+        spec_file = self._write_spec(tmp_path, spec)
+        assert (
+            main(
+                self._run_args(
+                    spec_file,
+                    tmp_path / "w0.tasks.json",
+                    tmp_path / "s.jsonl",
+                    "--shard-index",
+                    "0",
+                    "--shard-count",
+                    "2",
+                )
+            )
+            == 2
+        )
+        assert "one or the other" in capsys.readouterr().err
+
+    def test_mismatched_assignment_spec_hash_exits_3(
+        self, capsys, tmp_path
+    ):
+        from repro.experiments.scheduler import write_assignment
+
+        spec, _, keys = self._spec_and_keys()
+        spec_file = self._write_spec(tmp_path, spec)
+        tasks_file = tmp_path / "w0.tasks.json"
+        write_assignment(
+            tasks_file, 0, "f" * 64, keys[:1], batch=1, closed=True
+        )
+        code = main(
+            self._run_args(
+                spec_file, tasks_file, tmp_path / "w0.jsonl"
+            )
+        )
+        assert code == 3
+        assert "refusing to mix" in capsys.readouterr().err
+
+    def test_unknown_task_keys_exit_3(self, capsys, tmp_path):
+        from repro.experiments.scheduler import write_assignment
+
+        spec, spec_hash, _ = self._spec_and_keys()
+        spec_file = self._write_spec(tmp_path, spec)
+        tasks_file = tmp_path / "w0.tasks.json"
+        write_assignment(
+            tasks_file, 0, spec_hash, ["f" * 64], batch=1, closed=True
+        )
+        code = main(
+            self._run_args(
+                spec_file, tasks_file, tmp_path / "w0.jsonl"
+            )
+        )
+        assert code == 3
+        assert "does not expand to" in capsys.readouterr().err
 
 
 class TestWatchCli:

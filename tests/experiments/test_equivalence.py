@@ -4,8 +4,10 @@ Locks down the properties every v2 surface must preserve:
 
 - serial, parallel, sharded-then-merged, and *orchestrated* (shard
   worker subprocesses supervised by
-  :mod:`repro.experiments.orchestrator`) executions of one campaign
-  are bit-identical per (scenario, protocol, seed);
+  :mod:`repro.experiments.orchestrator` — under both the static and
+  the work-stealing scheduler, through steals, slow workers, and
+  workers that die mid-steal) executions of one campaign are
+  bit-identical per (scenario, protocol, seed);
 - a default-protocol v2 campaign reproduces the v1 serial reference
   path (``run_replicates`` / ``run_single``, unchanged since the seed)
   on probe scenarios;
@@ -210,6 +212,140 @@ class TestSerialParallelShardEquivalence:
             run_campaign(v2_spec, shard_index=2, shard_count=2)
         with pytest.raises(ValueError, match="shard_count"):
             run_campaign(v2_spec, shard_index=0, shard_count=0)
+
+
+class TestStealingSchedulerEquivalence:
+    """Scheduling must not change results: stolen/rebalanced runs merge
+    to the same streams and aggregates as serial and static runs."""
+
+    def _reference(self, v2_spec, tmp_path):
+        serial = run_campaign(
+            v2_spec, workers=1, stream_path=tmp_path / "serial.jsonl"
+        )
+        for index in range(2):
+            run_campaign(
+                v2_spec,
+                workers=2,
+                stream_path=tmp_path / f"hand{index}.jsonl",
+                shard_index=index,
+                shard_count=2,
+            )
+        merge_streams(
+            tmp_path / "hand.jsonl",
+            [tmp_path / "hand0.jsonl", tmp_path / "hand1.jsonl"],
+        )
+        return serial
+
+    def test_stealing_equals_static_equals_serial(self, v2_spec, tmp_path):
+        serial = self._reference(v2_spec, tmp_path)
+        stolen = orchestrate_campaign(
+            v2_spec,
+            shards=2,
+            workers_per_shard=2,
+            run_dir=tmp_path / "stealing",
+            poll_interval=0.05,
+            scheduler="stealing",
+            steal_threshold=1,
+            lease_batch=1,
+        )
+        assert stolen.scheduler == "stealing"
+        assert cell_fingerprints(stolen.result) == cell_fingerprints(serial)
+        assert stolen.result.render() == serial.render()
+        # The merged stream is the hand-sharded merge, up to per-run
+        # provenance — wherever each task actually executed.
+        assert stream_essence(stolen.merged_stream) == stream_essence(
+            tmp_path / "hand.jsonl"
+        )
+
+    def test_chaos_slow_shard_forces_steals_same_result(
+        self, v2_spec, tmp_path
+    ):
+        """A lagging worker's leases migrate (>= 1 steal fires) and the
+        rebalanced run still merges bit-identically."""
+        serial = self._reference(v2_spec, tmp_path)
+        events: list[str] = []
+        stolen = orchestrate_campaign(
+            v2_spec,
+            shards=2,
+            run_dir=tmp_path / "slow",
+            poll_interval=0.05,
+            scheduler="stealing",
+            steal_threshold=1,
+            lease_batch=1,
+            chaos_slow_shard=0,
+            chaos_slow_s=0.6,
+            on_event=events.append,
+        )
+        assert stolen.steals >= 1
+        assert any(event.startswith("steal: moved") for event in events)
+        assert sum(s.stolen_to for s in stolen.shards) == stolen.steals
+        assert cell_fingerprints(stolen.result) == cell_fingerprints(serial)
+        assert stolen.result.render() == serial.render()
+        assert stream_essence(stolen.merged_stream) == stream_essence(
+            tmp_path / "hand.jsonl"
+        )
+
+    def test_worker_death_composes_with_stealing(self, v2_spec, tmp_path):
+        """Lease reclaim + requeue compose: the slow shard's worker is
+        SIGKILLed mid-run, its replacement stream-resumes while steals
+        keep draining its leases — and nothing changes in the result."""
+        serial = self._reference(v2_spec, tmp_path)
+        events: list[str] = []
+        stolen = orchestrate_campaign(
+            v2_spec,
+            shards=2,
+            run_dir=tmp_path / "die",
+            poll_interval=0.05,
+            scheduler="stealing",
+            steal_threshold=1,
+            lease_batch=1,
+            chaos_kill_shard=0,
+            chaos_kill_after=0,  # at launch: deterministic
+            chaos_slow_shard=0,
+            chaos_slow_s=0.4,
+            on_event=events.append,
+        )
+        assert any("chaos: SIGKILL shard 0" in event for event in events)
+        assert stolen.requeues >= 1
+        assert stolen.shards[0].attempts >= 2
+        # The replacement worker resumed the same stream while its
+        # slot's leases stayed stealable; both mechanisms fired.
+        assert stolen.steals >= 1
+        assert cell_fingerprints(stolen.result) == cell_fingerprints(serial)
+        assert stolen.result.render() == serial.render()
+
+    def test_balanced_run_with_high_threshold_never_steals(
+        self, v2_spec, tmp_path
+    ):
+        """Zero-steal behaviour: with no imbalance worth moving, the
+        run IS the static partition (assignment files included)."""
+        from repro.experiments.scheduler import read_assignment
+        from repro.seeding import shard_partition
+
+        serial = self._reference(v2_spec, tmp_path)
+        stolen = orchestrate_campaign(
+            v2_spec,
+            shards=2,
+            run_dir=tmp_path / "balanced",
+            poll_interval=0.05,
+            scheduler="stealing",
+            steal_threshold=10**6,
+        )
+        assert stolen.steals == 0
+        keys = [
+            task_key(task)
+            for _, cell_spec in stolen.result.spec.cell_specs()
+            for task in cell_spec.tasks()
+        ]
+        partition = shard_partition(keys, 2)
+        for index, status in enumerate(stolen.shards):
+            doc = read_assignment(tmp_path / "balanced"
+                                  / f"shard{index}.tasks.json")
+            # Closed files prune recorded keys, so compare the keys
+            # each stream actually recorded to the static partition.
+            assert doc.closed and doc.keys == ()
+            assert status.recorded == len(partition[index])
+        assert cell_fingerprints(stolen.result) == cell_fingerprints(serial)
 
 
 class TestV1Reproduction:

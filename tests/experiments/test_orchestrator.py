@@ -121,6 +121,19 @@ class TestOrchestratedRun:
         assert any("done" in event for event in events)
         assert any("merged" in event for event in events)
 
+    def test_final_summary_reports_per_shard_attempts(self, orchestrated):
+        # Requeues used to be the only rebalancing that surfaced; the
+        # final summary now carries per-shard attempt counts too.
+        outcome, events, _ = orchestrated
+        for status in outcome.shards:
+            assert any(
+                event.startswith(f"summary: shard {status.index}: ")
+                and f"{status.attempts} attempt(s)" in event
+                for event in events
+            )
+        assert outcome.scheduler == "static"
+        assert outcome.steals == 0
+
     def test_rerun_with_same_dir_resumes_streams_untouched(
         self, orchestrated
     ):
@@ -212,6 +225,29 @@ class TestFailureHandling:
         assert "[7, 7]" in message  # both attempts' exit codes
         assert "worker log line" in message  # the log tail is surfaced
 
+    def test_bad_scheduler_arguments_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="scheduler"):
+            orchestrate_campaign(
+                SPEC, shards=2, run_dir=tmp_path, scheduler="round-robin"
+            )
+        with pytest.raises(ValueError, match="lease_batch"):
+            orchestrate_campaign(
+                SPEC, shards=2, run_dir=tmp_path, lease_batch=0
+            )
+        with pytest.raises(ValueError, match="steal_threshold"):
+            orchestrate_campaign(
+                SPEC, shards=2, run_dir=tmp_path, steal_threshold=0
+            )
+        with pytest.raises(ValueError, match="chaos_slow_shard"):
+            orchestrate_campaign(
+                SPEC, shards=2, run_dir=tmp_path, chaos_slow_shard=5
+            )
+        with pytest.raises(ValueError, match="chaos_slow_s"):
+            orchestrate_campaign(
+                SPEC, shards=2, run_dir=tmp_path,
+                chaos_slow_shard=0, chaos_slow_s=0.0,
+            )
+
     def test_bad_arguments_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="shards"):
             orchestrate_campaign(SPEC, shards=0, run_dir=tmp_path)
@@ -235,6 +271,116 @@ class TestFailureHandling:
             orchestrate_campaign(
                 SPEC, shards=1, run_dir=tmp_path, stall_timeout=0.0
             )
+
+
+class TestStealingScheduler:
+    """Supervision behaviours specific to ``scheduler="stealing"``.
+
+    (Result equivalence through steals, slow shards, and mid-steal
+    worker death lives in ``test_equivalence.py``.)
+    """
+
+    def test_every_shard_launches_even_with_an_empty_partition(
+        self, tmp_path, serial_reference
+    ):
+        # A tiny campaign can leave a shard's hash partition empty;
+        # under stealing that worker still launches — an idle worker
+        # is a steal target, not noise.
+        tiny = CampaignSpec(
+            name="orch", base=TINY, protocols=("glr",), replicates=1
+        )
+        events: list[str] = []
+        outcome = orchestrate_campaign(
+            tiny,
+            shards=4,
+            run_dir=tmp_path / "wide",
+            poll_interval=0.05,
+            scheduler="stealing",
+            on_event=events.append,
+        )
+        assert all(status.attempts >= 1 for status in outcome.shards)
+        assert sum(s.recorded for s in outcome.shards) == tiny.total_tasks()
+        assert any("closing assignments" in event for event in events)
+
+    def test_assignment_files_live_next_to_the_streams(self, tmp_path):
+        run_dir = tmp_path / "run"
+        outcome = orchestrate_campaign(
+            SPEC,
+            shards=2,
+            run_dir=run_dir,
+            poll_interval=0.05,
+            scheduler="stealing",
+        )
+        assert outcome.scheduler == "stealing"
+        for status in outcome.shards:
+            assert (run_dir / f"shard{status.index}.tasks.json").exists()
+            assert status.stream.exists()
+
+    def test_finished_run_dir_resumes_without_running_anything(
+        self, tmp_path, serial_reference
+    ):
+        run_dir = tmp_path / "resume"
+        first = orchestrate_campaign(
+            SPEC, shards=2, run_dir=run_dir, poll_interval=0.05,
+            scheduler="stealing",
+        )
+        before = {
+            status.stream: status.stream.read_bytes()
+            for status in first.shards
+            if status.stream.exists()
+        }
+        events: list[str] = []
+        again = orchestrate_campaign(
+            SPEC, shards=2, run_dir=run_dir, poll_interval=0.05,
+            scheduler="stealing", on_event=events.append,
+        )
+        # Everything was recorded already: zero launches, streams
+        # untouched, same aggregate.
+        assert all(status.attempts == 0 for status in again.shards)
+        for stream, payload in before.items():
+            assert stream.read_bytes() == payload
+        assert any("resuming" in event for event in events)
+        assert again.result.render() == serial_reference.render()
+
+    def test_mismatched_run_dir_is_refused(self, tmp_path):
+        run_dir = tmp_path / "mismatch"
+        orchestrate_campaign(
+            SPEC, shards=2, run_dir=run_dir, poll_interval=0.05,
+            scheduler="stealing",
+        )
+        other = CampaignSpec(
+            name="orch", base=TINY, protocols=("glr",), replicates=1
+        )
+        with pytest.raises(StreamError, match="spec hash"):
+            orchestrate_campaign(
+                other, shards=2, run_dir=run_dir, poll_interval=0.05,
+                scheduler="stealing",
+            )
+
+    def test_persistently_failing_worker_aborts_with_log_tail(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            orchestrator_module,
+            "_worker_command",
+            lambda *args, **kwargs: [
+                sys.executable,
+                "-c",
+                "print('stealing worker log'); raise SystemExit(9)",
+            ],
+        )
+        with pytest.raises(OrchestratorError, match="shard") as excinfo:
+            orchestrate_campaign(
+                SPEC,
+                shards=1,
+                run_dir=tmp_path,
+                poll_interval=0.05,
+                max_attempts=2,
+                scheduler="stealing",
+            )
+        message = str(excinfo.value)
+        assert "[9, 9]" in message
+        assert "stealing worker log" in message
 
 
 class TestWatch:

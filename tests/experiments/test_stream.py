@@ -16,6 +16,7 @@ from repro.experiments.stream import (
     STREAM_FORMAT,
     StreamError,
     StreamTailCounter,
+    StreamTailKeys,
     append_record,
     init_stream,
     load_stream,
@@ -401,3 +402,50 @@ class TestStreamTailCounter:
         lines = path.read_text().splitlines(keepends=True)
         path.write_text("".join(lines[:2]))  # header + first record
         assert counter.count() == 1
+
+
+class TestStreamTailKeys:
+    """Incremental key reader the stealing supervisor polls with."""
+
+    def test_emits_keys_incrementally(self, tmp_path):
+        path = new_stream(tmp_path / "s.jsonl", records=[record("k1")])
+        tailer = StreamTailKeys(path)
+        assert tailer.poll() == ["k1"]  # header line yields no key
+        assert tailer.poll() == []
+        append_record(path, record("k2", replicate=1))
+        append_record(path, record("k3", replicate=2))
+        assert tailer.poll() == ["k2", "k3"]
+
+    def test_in_flight_tail_deferred_until_complete(self, tmp_path):
+        path = new_stream(tmp_path / "s.jsonl", records=[record("k1")])
+        tailer = StreamTailKeys(path)
+        assert tailer.poll() == ["k1"]
+        torn = json.dumps(record("k2", replicate=1))
+        with open(path, "a") as handle:
+            handle.write(torn[: len(torn) // 2])
+        assert tailer.poll() == []  # half a line is not a record yet
+        with open(path, "a") as handle:
+            handle.write(torn[len(torn) // 2:] + "\n")
+        assert tailer.poll() == ["k2"]
+
+    def test_undecodable_complete_lines_skipped(self, tmp_path):
+        path = new_stream(tmp_path / "s.jsonl", records=[record("k1")])
+        with open(path, "a") as handle:
+            handle.write("{ not json\n")
+        append_record(path, record("k2", replicate=1))
+        assert StreamTailKeys(path).poll() == ["k1", "k2"]
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        assert StreamTailKeys(tmp_path / "nope.jsonl").poll() == []
+
+    def test_rewritten_shorter_file_re_emits_from_scratch(self, tmp_path):
+        path = new_stream(
+            tmp_path / "s.jsonl",
+            records=[record("k1"), record("k2", replicate=1)],
+        )
+        tailer = StreamTailKeys(path)
+        assert tailer.poll() == ["k1", "k2"]
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:2]))  # header + first record
+        # Re-emitted keys are fine: consumers keep keys in a set.
+        assert tailer.poll() == ["k1"]

@@ -7,6 +7,7 @@ from repro.seeding import (
     derive_rng,
     derive_seed,
     replicate_seed,
+    shard_partition,
     shard_sizes,
     stable_shard,
 )
@@ -90,6 +91,34 @@ class TestStableShard:
     def test_rejects_bad_count(self):
         with pytest.raises(ValueError):
             stable_shard("k", 0)
+
+
+class TestShardPartition:
+    def test_is_a_partition_matching_stable_shard(self):
+        keys = [f"key-{i}" for i in range(200)]
+        parts = shard_partition(keys, 3)
+        assert len(parts) == 3
+        # Every key lands in exactly one part, chosen by stable_shard.
+        assert sorted(key for part in parts for key in part) == sorted(keys)
+        for index, part in enumerate(parts):
+            assert all(stable_shard(key, 3) == index for key in part)
+
+    def test_preserves_input_order_within_parts(self):
+        keys = [f"key-{i}" for i in range(50)]
+        parts = shard_partition(keys, 2)
+        order = {key: i for i, key in enumerate(keys)}
+        for part in parts:
+            assert part == sorted(part, key=order.__getitem__)
+
+    def test_sizes_agree_with_shard_sizes(self):
+        keys = [f"key-{i}" for i in range(120)]
+        assert [len(p) for p in shard_partition(keys, 5)] == shard_sizes(
+            keys, 5
+        )
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            shard_partition(["k"], 0)
 
 
 class TestShardSizes:
