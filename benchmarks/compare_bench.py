@@ -71,17 +71,26 @@ def load_report(path: Path) -> dict | None:
     return report
 
 
-def fmt_delta(base: float, current: float, lower_is_better: bool) -> str:
-    """``+3.2%`` style delta with a regression marker."""
+def fmt_delta(
+    base: float, current: float, lower_is_better: bool,
+    warn: float = 0.15,
+) -> str:
+    """``+3.2%`` style delta, marked when it regresses past ``warn``.
+
+    ``warn`` is the gate's ``--warn`` threshold, so the table's ⚠
+    markers agree with the gate verdict when the default is overridden.
+    """
     if not base:
         return "n/a"
     change = (current - base) / base
     worse = change > 0 if lower_is_better else change < 0
-    marker = " ⚠" if worse and abs(change) >= 0.15 else ""
+    marker = " ⚠" if worse and abs(change) >= warn else ""
     return f"{change:+.1%}{marker}"
 
 
-def compare_table(baseline: dict, current: dict) -> str:
+def compare_table(
+    baseline: dict, current: dict, warn: float = 0.15
+) -> str:
     """Markdown before/after table over every tracked metric."""
     lines = [
         "| metric | baseline | current | change |",
@@ -95,7 +104,7 @@ def compare_table(baseline: dict, current: dict) -> str:
             continue
         lines.append(
             f"| {label} | {base:.3f} | {cur:.3f} "
-            f"| {fmt_delta(base, cur, lower_is_better)} |"
+            f"| {fmt_delta(base, cur, lower_is_better, warn)} |"
         )
     return "\n".join(lines)
 
@@ -250,7 +259,7 @@ def main(argv: list[str] | None = None) -> int:
             "this branch, or the cache expired); gate skipped."
         )
     else:
-        sections.append(compare_table(baseline, current))
+        sections.append(compare_table(baseline, current, args.warn))
         sections.append("")
         slowdown = gate_slowdown(baseline, current)
         if slowdown is None:

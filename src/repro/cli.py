@@ -72,7 +72,10 @@ from repro.experiments.orchestrator import (
     watch_view,
 )
 from repro.experiments.protocols import ProtocolConfig
-from repro.experiments.scheduler import SchedulerError
+from repro.experiments.scheduler import (
+    AssignmentIdleTimeout,
+    SchedulerError,
+)
 from repro.experiments.stream import StreamError, merge_streams
 from repro.experiments.common import (
     BENCH_EFFORT,
@@ -379,6 +382,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "assignment file, re-reading it between batches (the stealing "
         "orchestrator's worker mode; requires --stream, conflicts "
         "with --shard-index/--shard-count)",
+    )
+    camp_p.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --tasks (required): exit (code 4) after idling this "
+        "long on an assignment file nobody touches or closes — a live "
+        "supervisor freshens the file every tick, so a quiet file "
+        "means it died; 0 waits forever (default: 600)",
     )
     camp_p.add_argument(
         "--heartbeat",
@@ -892,6 +905,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "--tasks campaigns need --stream: the stream is how the "
             "scheduler sees recorded tasks"
         )
+    if args.wait_timeout is not None:
+        if args.tasks is None:
+            raise ValueError(
+                "--wait-timeout only bounds the --tasks worker's idle "
+                "wait; pass it with --tasks"
+            )
+        if args.wait_timeout < 0:
+            raise ValueError(
+                "--wait-timeout must be >= 0 (0 waits forever)"
+            )
+    wait_timeout = 600.0 if args.wait_timeout is None else args.wait_timeout
     spec = _campaign_spec_from_args(args)
     n_scenarios = len(spec.scenarios())
     total = n_scenarios * len(spec.protocols) * spec.replicates
@@ -942,6 +966,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         shard_index=args.shard_index,
         shard_count=args.shard_count,
         tasks_file=args.tasks,
+        wait_timeout=wait_timeout if wait_timeout else None,
         on_wait=on_wait if heartbeat is not None else None,
     )
     print()
@@ -996,6 +1021,13 @@ def main(argv: list[str] | None = None) -> int:
         # dir keeps the shard streams, so a rerun resumes.
         print(f"orchestrator error: {exc}", file=sys.stderr)
         return 3
+    except AssignmentIdleTimeout as exc:
+        # Orphaned --tasks worker: the supervisor died without closing
+        # the assignment file.  Distinct code so wrappers can tell
+        # "supervisor gone" from bad input; the stream keeps every
+        # finished task, so a relaunched supervisor resumes cleanly.
+        print(f"scheduler error: {exc}", file=sys.stderr)
+        return 4
     except SchedulerError as exc:
         # A worker handed a bad/mismatched assignment file: the
         # supervisor (or operator) pointed it at the wrong campaign.

@@ -57,7 +57,11 @@ from repro.experiments.common import ci_of, fmt_ci
 from repro.experiments.protocols import ProtocolConfig, as_protocol_config
 from repro.experiments.runner import available_protocols, run_single
 from repro.experiments.scenarios import Scenario
-from repro.experiments.scheduler import SchedulerError, read_assignment
+from repro.experiments.scheduler import (
+    AssignmentIdleTimeout,
+    SchedulerError,
+    read_assignment,
+)
 from repro.experiments.stream import (
     append_record,
     init_stream,
@@ -930,6 +934,7 @@ def run_campaign(
     shard_count: int | None = None,
     tasks_file: str | Path | None = None,
     wait_interval: float = 0.5,
+    wait_timeout: float | None = None,
     on_wait: Callable[[], None] | None = None,
 ) -> CampaignResult:
     """Execute a declarative campaign and aggregate its grid.
@@ -961,7 +966,14 @@ def run_campaign(
     pending keys but is not ``closed``, the worker waits (calling
     ``on_wait`` each ``wait_interval`` poll — the CLI touches its
     heartbeat there) for more leases; a ``closed`` file with nothing
-    pending ends the run.  Requires ``stream_path`` and conflicts with
+    pending ends the run.  ``wait_timeout`` bounds that wait: a live
+    supervisor freshens the assignment file's mtime every supervision
+    tick, so a file that stays untouched for ``wait_timeout`` seconds
+    while the worker is idle means the supervisor died without closing
+    it — the worker raises
+    :class:`~repro.experiments.scheduler.AssignmentIdleTimeout` instead
+    of polling forever as an orphan (``None``: wait indefinitely).
+    Requires ``stream_path`` and conflicts with
     ``shard_index``/``shard_count``.
     """
     if tasks_file is not None:
@@ -983,6 +995,7 @@ def run_campaign(
             cache_dir=cache_dir,
             progress=progress,
             wait_interval=wait_interval,
+            wait_timeout=wait_timeout,
             on_wait=on_wait,
         )
     cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -1096,6 +1109,7 @@ def _run_tasks_campaign(
     cache_dir: str | Path | None,
     progress: ProgressCallback | None,
     wait_interval: float,
+    wait_timeout: float | None,
     on_wait: Callable[[], None] | None,
 ) -> CampaignResult:
     """The ``--tasks FILE`` worker loop: lease batches until closed.
@@ -1107,6 +1121,8 @@ def _run_tasks_campaign(
     """
     if wait_interval <= 0:
         raise ValueError("wait_interval must be positive")
+    if wait_timeout is not None and wait_timeout <= 0:
+        raise ValueError("wait_timeout must be positive (or None)")
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     spec_hash = campaign_spec_hash(spec)
     entries: list[_CampaignEntry] = []
@@ -1121,6 +1137,12 @@ def _run_tasks_campaign(
     #: Keys we have emitted a progress event for (skipped or executed).
     counted: set[str] = set()
     stream_hits = 0
+    # Supervisor-liveness clock for the wait loop below: any sign of a
+    # live supervisor — a rewrite (version) or even a bare mtime
+    # freshen (the supervision loop touches every assignment file each
+    # tick) — resets it.
+    idle_since: float | None = None
+    last_beacon: tuple[int, int] | None = None
 
     while True:
         doc = read_assignment(tasks_file)
@@ -1159,10 +1181,31 @@ def _run_tasks_campaign(
         if not pending:
             if doc.closed:
                 break
+            if wait_timeout is not None:
+                try:
+                    beacon = (
+                        os.stat(tasks_file).st_mtime_ns, doc.version
+                    )
+                except OSError:
+                    beacon = (0, doc.version)
+                now = time.monotonic()
+                if beacon != last_beacon or idle_since is None:
+                    last_beacon = beacon
+                    idle_since = now
+                elif now - idle_since > wait_timeout:
+                    raise AssignmentIdleTimeout(
+                        f"assignment {tasks_file} has no pending tasks, "
+                        f"is not closed, and went untouched for "
+                        f"{now - idle_since:.0f}s (> wait_timeout "
+                        f"{wait_timeout:.0f}s); assuming the supervisor "
+                        f"died without closing it"
+                    )
             if on_wait is not None:
                 on_wait()
             time.sleep(wait_interval)
             continue
+        idle_since = None
+        last_beacon = None
 
         batch = pending[: doc.batch]
         batch_tasks = [by_key[key][1] for key in batch]

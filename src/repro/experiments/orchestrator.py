@@ -860,6 +860,14 @@ def _orchestrate_stealing(
                     f"recorded; shard streams are incomplete"
                 )
             time.sleep(poll_interval)
+            # Liveness beacon: freshen every assignment file's mtime so
+            # an idle worker's supervisor-death timeout (`repro campaign
+            # --tasks --wait-timeout`) never fires while this loop runs.
+            for status in statuses:
+                try:
+                    os.utime(board.path(status.index))
+                except OSError:  # pragma: no cover - replaced mid-utime
+                    pass
             for status in statuses:
                 ingest(status)
             for worker in list(running):
@@ -951,9 +959,45 @@ def _orchestrate_stealing(
                     index for index in sorted(alive)
                     if not board.remaining(index)
                 ]
+                # A queued slot (never launched, or dead and awaiting
+                # relaunch) has nothing in flight, so the keep window
+                # and steal threshold protect work that provably is
+                # not running.  Reclaim such slots wholesale onto idle
+                # live workers — without this, ``max_concurrent <
+                # shards`` deadlocks: the launched workers go idle and
+                # wait on assignment files that never close, running
+                # never drops below the cap, and the queued slot's
+                # window-protected leases can never move.
+                if idle:
+                    for status in statuses:
+                        if (
+                            status.state != "pending"
+                            or status.index in alive
+                            or not board.remaining(status.index)
+                        ):
+                            continue
+                        reclaimed = board.reclaim(status.index)
+                        if not reclaimed:
+                            continue
+                        status.stolen_from += len(reclaimed)
+                        for offset, thief in enumerate(idle):
+                            share = reclaimed[offset::len(idle)]
+                            board.lease(thief, share)
+                            statuses[thief].stolen_to += len(share)
+                        event(
+                            f"reclaim: moved all {len(reclaimed)} "
+                            f"lease(s) from queued shard "
+                            f"{status.index} (no worker in flight) to "
+                            f"idle shard(s) "
+                            f"{', '.join(str(t) for t in idle)}"
+                        )
+                    idle = [
+                        index for index in sorted(alive)
+                        if not board.remaining(index)
+                    ]
                 busy = [
-                    status.index for status in statuses
-                    if board.remaining(status.index)
+                    index for index in sorted(alive)
+                    if board.remaining(index)
                 ]
                 for victim, thief, count in plan_steals(
                     board, idle, busy, steal_threshold

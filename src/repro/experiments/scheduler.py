@@ -27,6 +27,12 @@ tasks:
   both workers then run the task — but tasks are deterministic, both
   streams record identical metrics, and the merge deduplicates by key,
   so a lost race costs one duplicate simulation, never correctness.
+  A slot with no live worker at all (queued behind the concurrency
+  cap, or dead and awaiting relaunch) has nothing in flight, so the
+  keep window does not apply: :meth:`LeaseBoard.reclaim` takes its
+  whole lease set back and the supervisor re-leases it to idle
+  workers — without that, capping concurrency below the shard count
+  would deadlock on window-protected leases nobody is running.
 
 Scheduling therefore cannot change results, only wall-clock shape —
 ``tests/experiments/test_equivalence.py`` asserts stolen/rebalanced
@@ -47,6 +53,7 @@ from repro.seeding import shard_partition
 
 __all__ = [
     "Assignment",
+    "AssignmentIdleTimeout",
     "LeaseBoard",
     "SchedulerError",
     "ASSIGNMENT_FORMAT",
@@ -66,6 +73,19 @@ ASSIGNMENT_FORMAT = 1
 
 class SchedulerError(RuntimeError):
     """An assignment file is unusable (missing, damaged, wrong campaign)."""
+
+
+class AssignmentIdleTimeout(SchedulerError):
+    """An idle worker's assignment file went quiet past its wait bound.
+
+    A live supervisor freshens every assignment file's mtime each
+    supervision tick and closes the files when the campaign completes;
+    a file that stays byte-for-byte and mtime-for-mtime still while the
+    worker has nothing pending means the supervisor is gone (e.g. the
+    orchestrator was SIGKILLed).  The worker raises this instead of
+    polling forever as an orphan; the CLI maps it to a distinct exit
+    code so supervisors and operators can tell it from bad input.
+    """
 
 
 @dataclass(frozen=True)

@@ -452,6 +452,91 @@ class TestRunCampaign:
         assert result.cache_line() == "cache: disabled"
 
 
+class TestTasksWorkerIdleTimeout:
+    """The ``--tasks`` worker's orphan bound: a quiet, unclosed
+    assignment file means the supervisor died — the worker must stop
+    polling after ``wait_timeout`` instead of orbiting forever."""
+
+    def _spec(self):
+        return CampaignSpec(name="idle", base=TINY, replicates=1)
+
+    def _empty_assignment(self, tmp_path, spec, closed=False, version=0):
+        from repro.experiments.campaign import campaign_spec_hash
+        from repro.experiments.scheduler import write_assignment
+
+        tasks_file = tmp_path / "w0.tasks.json"
+        write_assignment(
+            tasks_file, 0, campaign_spec_hash(spec), [], batch=1,
+            closed=closed, version=version,
+        )
+        return tasks_file
+
+    def test_quiet_unclosed_assignment_times_out(self, tmp_path):
+        from repro.experiments.scheduler import AssignmentIdleTimeout
+
+        spec = self._spec()
+        tasks_file = self._empty_assignment(tmp_path, spec)
+        with pytest.raises(AssignmentIdleTimeout, match="supervisor"):
+            run_campaign(
+                spec,
+                stream_path=tmp_path / "w0.jsonl",
+                tasks_file=tasks_file,
+                wait_interval=0.05,
+                wait_timeout=0.2,
+            )
+
+    def test_supervisor_touches_reset_the_idle_clock(self, tmp_path):
+        import os
+        import threading
+        import time as time_module
+
+        from repro.experiments.campaign import campaign_spec_hash
+        from repro.experiments.scheduler import write_assignment
+
+        spec = self._spec()
+        tasks_file = self._empty_assignment(tmp_path, spec)
+
+        def supervisor():
+            # Freshen the file's mtime well past the worker's timeout
+            # (the live supervisor's per-tick beacon), then close it.
+            # The timeout is several multiples of the touch period (and
+            # of a 1 s coarse-mtime granularity), so a loaded machine
+            # cannot flake this into a spurious AssignmentIdleTimeout.
+            deadline = time_module.monotonic() + 2.5
+            while time_module.monotonic() < deadline:
+                os.utime(tasks_file)
+                time_module.sleep(0.1)
+            write_assignment(
+                tasks_file, 0, campaign_spec_hash(spec), [], batch=1,
+                closed=True, version=1,
+            )
+
+        thread = threading.Thread(target=supervisor)
+        thread.start()
+        try:
+            result = run_campaign(
+                spec,
+                stream_path=tmp_path / "w0.jsonl",
+                tasks_file=tasks_file,
+                wait_interval=0.05,
+                wait_timeout=1.5,
+            )
+        finally:
+            thread.join()
+        assert result.metrics == {}  # nothing leased, clean exit
+
+    def test_bad_wait_timeout_rejected(self, tmp_path):
+        spec = self._spec()
+        tasks_file = self._empty_assignment(tmp_path, spec, closed=True)
+        with pytest.raises(ValueError, match="wait_timeout"):
+            run_campaign(
+                spec,
+                stream_path=tmp_path / "w0.jsonl",
+                tasks_file=tasks_file,
+                wait_timeout=0.0,
+            )
+
+
 class TestProtocolAxis:
     """The v2 tentpole: protocol-config variants as a sweep axis."""
 

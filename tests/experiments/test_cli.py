@@ -916,6 +916,63 @@ class TestTasksCli:
         assert code == 3
         assert "refusing to mix" in capsys.readouterr().err
 
+    def test_orphaned_worker_exits_4_when_assignment_goes_quiet(
+        self, capsys, tmp_path
+    ):
+        from repro.experiments.scheduler import write_assignment
+
+        spec, spec_hash, _ = self._spec_and_keys()
+        spec_file = self._write_spec(tmp_path, spec)
+        tasks_file = tmp_path / "w0.tasks.json"
+        # No pending work, not closed, and nobody ever touches the
+        # file again: exactly what a SIGKILLed supervisor leaves
+        # behind.  The worker must exit (code 4), not poll forever.
+        write_assignment(
+            tasks_file, 0, spec_hash, [], batch=1, closed=False
+        )
+        code = main(
+            self._run_args(
+                spec_file, tasks_file, tmp_path / "w0.jsonl",
+                "--wait-timeout", "0.3",
+            )
+        )
+        assert code == 4
+        assert "supervisor" in capsys.readouterr().err
+
+    def test_negative_wait_timeout_rejected(self, capsys, tmp_path):
+        # A typo'd negative must not silently mean "wait forever"
+        # (only 0 is the documented sentinel for that).
+        spec, spec_hash, _ = self._spec_and_keys()
+        spec_file = self._write_spec(tmp_path, spec)
+        code = main(
+            self._run_args(
+                spec_file, tmp_path / "w0.tasks.json",
+                tmp_path / "w0.jsonl", "--wait-timeout", "-5",
+            )
+        )
+        assert code == 2
+        assert "--wait-timeout" in capsys.readouterr().err
+
+    def test_wait_timeout_without_tasks_rejected(self, capsys, tmp_path):
+        # Only the --tasks worker has an idle wait to bound; accepting
+        # the flag elsewhere would arm nothing while looking armed.
+        spec, _, _ = self._spec_and_keys()
+        spec_file = self._write_spec(tmp_path, spec)
+        code = main(
+            [
+                "campaign",
+                "--spec",
+                str(spec_file),
+                "--stream",
+                str(tmp_path / "w.jsonl"),
+                "--quiet",
+                "--wait-timeout",
+                "60",
+            ]
+        )
+        assert code == 2
+        assert "--tasks" in capsys.readouterr().err
+
     def test_unknown_task_keys_exit_3(self, capsys, tmp_path):
         from repro.experiments.scheduler import write_assignment
 

@@ -107,6 +107,26 @@ class TestGate:
         assert "| metric | baseline | current | change |" in result.stdout
         assert "| cold wall (s) | 10.000 | 11.000 | +10.0% |" in result.stdout
 
+    def test_table_markers_follow_an_overridden_warn_threshold(
+        self, tmp_path
+    ):
+        # The ⚠ markers must track --warn, not a hardcoded 15%: with
+        # --warn 0.05 a +10% cold-wall regression gets marked (and the
+        # ~9% throughput drop trips the gate's WARNING verdict too, so
+        # table and verdict agree).
+        current = write(tmp_path / "current.json", datapoint(2.0, 11.0))
+        baseline = write(tmp_path / "baseline.json", datapoint(2.2, 10.0))
+        result = run_gate(
+            "--current", str(current), "--baseline", str(baseline),
+            "--warn", "0.05", "--fail", "0.5",
+        )
+        assert result.returncode == 0
+        assert (
+            "| cold wall (s) | 10.000 | 11.000 | +10.0% ⚠ |"
+            in result.stdout
+        )
+        assert "WARNING" in result.stdout
+
     def test_summary_file_appended(self, tmp_path):
         current = write(tmp_path / "current.json", datapoint())
         summary = tmp_path / "summary.md"

@@ -302,6 +302,35 @@ class TestStealingScheduler:
         assert sum(s.recorded for s in outcome.shards) == tiny.total_tasks()
         assert any("closing assignments" in event for event in events)
 
+    def test_max_concurrent_below_shards_reclaims_queued_leases(
+        self, tmp_path, serial_reference
+    ):
+        # Regression: with fewer slots than shards, the launched
+        # workers used to go idle waiting on never-closed assignment
+        # files while the queued slots' keep-window leases could never
+        # move — a silent deadlock.  A queued slot has no worker in
+        # flight, so its leases are reclaimed wholesale onto the idle
+        # live workers and the campaign completes on one slot.
+        events: list[str] = []
+        outcome = orchestrate_campaign(
+            SPEC,
+            shards=3,
+            run_dir=tmp_path / "capped",
+            poll_interval=0.05,
+            scheduler="stealing",
+            max_concurrent=1,
+            on_event=events.append,
+        )
+        assert any(
+            event.startswith("reclaim: moved") for event in events
+        )
+        assert outcome.steals >= 1
+        assert sum(s.recorded for s in outcome.shards) >= (
+            SPEC.total_tasks()
+        )
+        assert outcome.result.render() == serial_reference.render()
+        assert outcome.result.metrics == serial_reference.metrics
+
     def test_assignment_files_live_next_to_the_streams(self, tmp_path):
         run_dir = tmp_path / "run"
         outcome = orchestrate_campaign(
