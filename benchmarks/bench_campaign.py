@@ -10,7 +10,10 @@ sweep and writes a machine-readable ``BENCH_campaign.json``:
 - cache-resume time (fresh stream, warm result cache — the opt-in
   second layer);
 - orchestrated wall time for the same spec fanned out over shard
-  worker subprocesses (supervision + merge overhead included).
+  worker subprocesses (supervision + merge overhead included);
+- distributed wall time for the same spec over two simulated hosts
+  (``ObjectStoreTransport`` roots — the full push/mirror transport
+  path, minus the network).
 
 CI runs this per push and uploads the JSON as an artifact, so the
 engine's overheads become a tracked trajectory instead of anecdotes.
@@ -94,9 +97,27 @@ def run(workers: int, shards: int) -> dict:
             )
         )
 
+        distributed, distributed_s = timed(
+            lambda: orchestrate_campaign(
+                spec,
+                run_dir=workdir / "distributed",
+                hosts=[
+                    f"store:{workdir}/host-{index}"
+                    for index in range(shards)
+                ],
+                workers_per_shard=workers,
+                poll_interval=0.05,
+            )
+        )
+
         assert stream_resumed.stream_hits == total
         assert cache_resumed.cache_hits == total
-        for other in (stream_resumed, cache_resumed, orchestrated.result):
+        for other in (
+            stream_resumed,
+            cache_resumed,
+            orchestrated.result,
+            distributed.result,
+        ):
             assert other.render() == cold.render(), "fixed seed drifted"
 
     return {
@@ -112,6 +133,7 @@ def run(workers: int, shards: int) -> dict:
         "stream_resume_s": round(stream_resume_s, 4),
         "cache_resume_s": round(cache_resume_s, 4),
         "orchestrated_wall_s": round(orchestrated_s, 4),
+        "distributed_wall_s": round(distributed_s, 4),
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
@@ -144,6 +166,10 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"  orchestrated  {report['orchestrated_wall_s']:8.3f} s "
         f"({args.shards} shard workers)"
+    )
+    print(
+        f"  distributed   {report['distributed_wall_s']:8.3f} s "
+        f"({args.shards} simulated hosts)"
     )
     return 0
 

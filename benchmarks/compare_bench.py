@@ -46,6 +46,7 @@ METRICS = (
     ("stream_resume_s", "stream resume (s)", True),
     ("cache_resume_s", "cache resume (s)", True),
     ("orchestrated_wall_s", "orchestrated wall (s)", True),
+    ("distributed_wall_s", "distributed wall (s)", True),
 )
 
 #: The gating metric: cold-campaign throughput.
@@ -57,6 +58,7 @@ TREND_FIELDS = (
     ("tasks_per_s", "tasks/s"),
     ("stream_resume_s", "stream-resume (s)"),
     ("orchestrated_wall_s", "orchestrated (s)"),
+    ("distributed_wall_s", "distributed (s)"),
 )
 
 

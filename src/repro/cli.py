@@ -39,6 +39,8 @@ Examples::
         --workers-per-shard 2 --dir RUNDIR
     repro campaign orchestrate --radii 50,100 --shards 4 \\
         --scheduler stealing --dir RUNDIR
+    repro campaign orchestrate --radii 50,100 \\
+        --hosts user@h1,user@h2 --dir RUNDIR
     repro campaign watch --dir RUNDIR
     repro campaign --radii 50,100 --stream shard0.jsonl \\
         --shard-index 0 --shard-count 2 --cache-dir CACHE
@@ -65,6 +67,7 @@ from repro.experiments.campaign import (
     merge_caches,
     run_campaign,
 )
+from repro.experiments.layout import RunLayout
 from repro.experiments.orchestrator import (
     OrchestratorError,
     orchestrate_campaign,
@@ -76,6 +79,7 @@ from repro.experiments.scheduler import (
     AssignmentIdleTimeout,
     SchedulerError,
 )
+from repro.experiments.transport import parse_hosts
 from repro.experiments.stream import StreamError, merge_streams
 from repro.experiments.common import (
     BENCH_EFFORT,
@@ -135,6 +139,27 @@ EFFORTS: dict[str, Effort] = {
 }
 
 
+def _hosts_argument(text: str) -> list[str]:
+    """``--hosts`` argparse type: split and *validate* at parse time.
+
+    A typo'd fleet spec should die in argparse (usage + exit 2) before
+    a single simulation starts, not when the supervisor first tries to
+    push the spec out.  The parsed transports are thrown away here —
+    the orchestrator re-parses — because argparse values must survive
+    being printed in error messages.
+    """
+    specs = [part.strip() for part in text.split(",") if part.strip()]
+    if not specs:
+        raise argparse.ArgumentTypeError(
+            "needs at least one host spec (e.g. user@h1,user@h2)"
+        )
+    try:
+        parse_hosts(specs)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return specs
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="glr-repro",
@@ -190,8 +215,20 @@ def _build_parser() -> argparse.ArgumentParser:
     orch_p.add_argument(
         "--shards",
         type=int,
-        required=True,
-        help="number of shard workers the campaign fans out over",
+        default=None,
+        help="number of local shard workers the campaign fans out over "
+        "(exactly one of --shards / --hosts)",
+    )
+    orch_p.add_argument(
+        "--hosts",
+        type=_hosts_argument,
+        default=None,
+        metavar="SPEC[,SPEC...]",
+        help="distribute over these hosts instead of local shards: "
+        "'user@h1' / 'h1:/data/run' (SSH), 'store:/shared/h1' "
+        "(directory-backed object store pseudo-host), 'local:/path' "
+        "(shared-filesystem root); specs are validated here at parse "
+        "time, and hosts mode always runs the stealing scheduler",
     )
     orch_p.add_argument(
         "--workers-per-shard",
@@ -214,12 +251,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     orch_p.add_argument(
         "--scheduler",
-        default="static",
+        default=None,
         choices=("static", "stealing"),
         help="task scheduling policy: 'static' fixes each worker's "
         "shard at launch; 'stealing' rebalances unstarted leases from "
         "lagging workers onto idle ones via per-worker assignment "
-        "files (default: static)",
+        "files (default: static; --hosts forces stealing)",
     )
     orch_p.add_argument(
         "--steal-threshold",
@@ -296,6 +333,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.25,
         metavar="SECONDS",
         help="per-task sleep --chaos-slow-shard injects (default: 0.25)",
+    )
+    orch_p.add_argument(
+        "--chaos-kill-host",
+        type=int,
+        default=None,
+        metavar="INDEX",
+        help="fault injection (tests/CI, --hosts mode): SIGKILL this "
+        "host's worker once its stream holds --chaos-kill-after "
+        "records and declare the host vanished — its leases reclaim "
+        "onto the surviving hosts",
     )
     orch_p.add_argument(
         "--quiet", action="store_true", help="suppress supervision events"
@@ -785,12 +832,50 @@ def _cmd_campaign_aggregate(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_orchestrate(args: argparse.Namespace) -> int:
+    # Cross-flag validation first, before the (possibly expensive)
+    # spec expansion: --hosts is a different execution mode and the
+    # single-machine-only knobs must conflict loudly, not silently
+    # misbehave on a fleet.
+    if (args.shards is None) == (args.hosts is None):
+        raise ValueError("pass exactly one of --shards or --hosts")
+    scheduler = args.scheduler or "static"
+    if args.hosts is not None:
+        if args.scheduler == "static":
+            raise ValueError(
+                "--scheduler static conflicts with --hosts: a static "
+                "partition cannot rebalance around a vanished host "
+                "(hosts mode always runs the stealing scheduler)"
+            )
+        scheduler = "stealing"
+        if args.chaos_kill_shard is not None:
+            raise ValueError(
+                "--chaos-kill-shard is single-machine only and "
+                "conflicts with --hosts; use --chaos-kill-host"
+            )
+        if args.chaos_slow_shard is not None:
+            raise ValueError(
+                "--chaos-slow-shard is single-machine only and "
+                "conflicts with --hosts"
+            )
+        if args.chaos_kill_host is not None and not (
+            0 <= args.chaos_kill_host < len(args.hosts)
+        ):
+            raise ValueError(
+                f"--chaos-kill-host must name one of the "
+                f"{len(args.hosts)} --hosts slots"
+            )
+    elif args.chaos_kill_host is not None:
+        raise ValueError("--chaos-kill-host needs --hosts")
     spec = _campaign_spec_from_args(args)
     run_dir = Path(args.dir) if args.dir else Path(f"orchestrated-{spec.name}")
     total = spec.total_tasks()
+    if args.hosts is not None:
+        fanout = f"{len(args.hosts)} host(s) ({', '.join(args.hosts)})"
+    else:
+        fanout = f"{args.shards} shard worker(s)"
     print(
         f"orchestrating campaign {spec.name}: {total} simulations over "
-        f"{args.shards} shard worker(s) x {args.workers_per_shard} "
+        f"{fanout} x {args.workers_per_shard} "
         f"process(es) each -> {run_dir}"
     )
 
@@ -808,13 +893,15 @@ def _cmd_campaign_orchestrate(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         max_concurrent=args.max_concurrent,
         on_event=None if args.quiet else on_event,
-        scheduler=args.scheduler,
+        scheduler=scheduler,
         lease_batch=args.lease_batch,
         steal_threshold=args.steal_threshold,
         chaos_kill_shard=args.chaos_kill_shard,
         chaos_kill_after=args.chaos_kill_after,
         chaos_slow_shard=args.chaos_slow_shard,
         chaos_slow_s=args.chaos_slow_s,
+        hosts=args.hosts,
+        chaos_kill_host=args.chaos_kill_host,
     )
     print()
     print(outcome.result.render())
@@ -824,8 +911,12 @@ def _cmd_campaign_orchestrate(args: argparse.Namespace) -> int:
         if outcome.scheduler == "stealing"
         else ""
     )
+    hosts_note = (
+        f" across {len(outcome.hosts)} host(s)" if outcome.hosts else ""
+    )
     print(
-        f"orchestrated ({outcome.scheduler} scheduler): {args.shards} "
+        f"orchestrated ({outcome.scheduler} scheduler{hosts_note}): "
+        f"{len(outcome.shards)} "
         f"shard(s), {attempts} worker launch(es), {outcome.requeues} "
         f"requeue(s){steals}; merged stream: {outcome.merged_stream}"
     )
@@ -840,7 +931,10 @@ def _cmd_campaign_watch(args: argparse.Namespace) -> int:
 
     def stream_paths() -> list[Path]:
         if args.dir:
-            return sorted(Path(args.dir).glob("shard*.jsonl"))
+            # The layout knows the shard-stream naming, including the
+            # supervisor-side mirrors of a multi-host run — watching a
+            # distributed campaign's dir needs nothing special.
+            return RunLayout(args.dir).shard_streams()
         return [Path(stream) for stream in args.streams]
 
     while True:

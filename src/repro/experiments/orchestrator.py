@@ -65,6 +65,21 @@ growing) shard streams in memory — ``quarantine=False`` throughout, so
 a live stream's in-flight tail is never repaired away — and rebuilds
 the partial per-cell aggregate with the honest ``runs`` column.
 ``repro campaign watch`` re-renders it on an interval.
+
+Cross-machine campaigns (``hosts=[...]`` / ``--hosts``): the protocol
+is already fully file-based, so distribution is a transport problem.
+Each lease-board slot is backed by a
+:class:`~repro.experiments.transport.Transport`; the supervisor ships
+the spec out, pushes every assignment rewrite through the board's
+``on_write`` hook, and mirrors each host's stream + heartbeat back
+into the local run dir on every supervision tick (atomic replace, so
+the same tail cursors — and ``repro campaign watch`` — run on the
+mirrors unchanged).  Membership is elastic: specs appended to the run
+dir's ``hosts.json`` join mid-campaign as fresh slots that fill by
+stealing, and a vanished host (transport errors, or the
+``chaos_kill_host`` injection) is declared lost — its slot is never
+relaunched and its leases take the reclaim path onto live workers.
+Equivalence is unchanged: N hosts merge bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -90,10 +105,16 @@ from repro.experiments.campaign import (
     campaign_spec_hash,
     task_key,
 )
+from repro.experiments.layout import RunLayout
 from repro.experiments.scheduler import (
     SCHEDULERS,
     LeaseBoard,
     plan_steals,
+)
+from repro.experiments.transport import (
+    Transport,
+    TransportError,
+    parse_host,
 )
 from repro.experiments.stream import (
     StreamError,
@@ -146,9 +167,14 @@ class ShardStatus:
     #: to an idle worker) / granted to it (stolen from a laggard).
     stolen_from: int = 0
     stolen_to: int = 0
-    #: ``pending`` | ``running`` | ``done`` | ``empty`` (owns no tasks).
+    #: ``pending`` | ``running`` | ``done`` | ``empty`` (owns no
+    #: tasks) | ``lost`` (multi-host: the slot's host vanished; never
+    #: relaunched, its leases reclaimed onto live workers).
     state: str = "pending"
     exit_codes: list[int] = field(default_factory=list)
+    #: Multi-host runs: the backing transport's label (e.g.
+    #: ``store:/tmp/h0``); empty for single-machine slots.
+    host: str = ""
 
 
 @dataclass
@@ -160,6 +186,9 @@ class OrchestratorResult:
     shards: list[ShardStatus]
     #: The scheduling policy the run used (``static`` or ``stealing``).
     scheduler: str = "static"
+    #: Multi-host runs: one transport label per slot, in slot order
+    #: (joined hosts included).  Empty for single-machine runs.
+    hosts: tuple[str, ...] = ()
 
     @property
     def requeues(self) -> int:
@@ -238,6 +267,85 @@ def _worker_command(
     return command
 
 
+def _host_worker_command(
+    transport: Transport,
+    index: int,
+    workers_per_shard: int,
+    cache_dir: str | Path | None,
+) -> list[str]:
+    """The worker command for a transport-backed slot.
+
+    Same protocol as the local stealing command, but every path is the
+    *remote* layout — the same artifact names resolved under the
+    transport's root — and the interpreter is whatever invokes the
+    ``repro`` CLI on that host.  ``cache_dir`` is interpreted on the
+    worker's host (a per-host cache, which is the only kind that makes
+    sense without a shared filesystem).
+    """
+    remote = RunLayout(transport.root)
+    command = [
+        *transport.command_head(),
+        "campaign",
+        "--spec",
+        str(remote.spec),
+        "--tasks",
+        str(remote.assignment(index)),
+        "--stream",
+        str(remote.stream(index)),
+        "--heartbeat",
+        str(remote.heartbeat(index)),
+        "--workers",
+        str(workers_per_shard),
+        "--quiet",
+    ]
+    if cache_dir is not None:
+        command += ["--cache-dir", str(cache_dir)]
+    return command
+
+
+def _local_launch(
+    command: Sequence[str], stdout, env: dict[str, str] | None
+) -> subprocess.Popen:
+    """Start a worker on this machine (the non-transport launcher)."""
+    return subprocess.Popen(
+        list(command),
+        stdout=stdout,
+        stderr=subprocess.STDOUT,
+        env=env,
+        # Own session/process group, so killing a worker also reaps
+        # its simulation pool children (see _Worker.kill).
+        start_new_session=True,
+    )
+
+
+def _spawn_worker(
+    command: Sequence[str],
+    log_path: Path,
+    attempt: int,
+    env: dict[str, str] | None,
+    launcher: Callable[
+        [Sequence[str], object, dict[str, str] | None], subprocess.Popen
+    ] = _local_launch,
+) -> tuple[subprocess.Popen, object]:
+    """Open the worker's log and start its process, leak-free.
+
+    The log handle must exist before the process (the attempt banner
+    precedes worker output, and the process inherits the handle as
+    stdout), which means a launch failure happens with the handle
+    already open — so it is closed on *any* raise instead of lingering
+    until garbage collection.
+    """
+    handle = open(log_path, "a", encoding="utf-8")
+    try:
+        handle.write(f"--- attempt {attempt} ---\n")
+        handle.flush()
+        process = launcher(command, handle, env)
+    except BaseException:
+        handle.close()
+        raise
+    return process, handle
+
+
 def _worker_environment(
     status: ShardStatus,
     chaos_slow_shard: int | None,
@@ -292,8 +400,8 @@ class _Worker:
 
 def orchestrate_campaign(
     spec: CampaignSpec,
-    shards: int,
-    run_dir: str | Path,
+    shards: int | None = None,
+    run_dir: str | Path | None = None,
     workers_per_shard: int = 1,
     cache_dir: str | Path | None = None,
     poll_interval: float = 0.3,
@@ -308,6 +416,8 @@ def orchestrate_campaign(
     chaos_kill_after: int = 1,
     chaos_slow_shard: int | None = None,
     chaos_slow_s: float = 0.25,
+    hosts: Sequence[str | Transport] | None = None,
+    chaos_kill_host: int | None = None,
 ) -> OrchestratorResult:
     """Fan a campaign out over supervised shard workers and collect it.
 
@@ -350,7 +460,65 @@ def orchestrate_campaign(
     ``chaos_slow_s`` seconds into that shard's workers (all attempts —
     it simulates a slow *machine*, not a flaky process), the imbalance
     the steal-smoke job proves the stealing scheduler recovers from.
+
+    ``hosts`` switches to cross-machine mode: one lease-board slot per
+    entry, each backed by a transport (a
+    :class:`~repro.experiments.transport.Transport` instance, or a
+    spec string for :func:`~repro.experiments.transport.parse_host` —
+    ``user@h1``, ``h1:/data/run``, ``store:/shared/h1``,
+    ``local:/mnt/nfs/h1``).  Pass *either* ``hosts`` or ``shards``,
+    never both; hosts mode always runs the stealing scheduler (a
+    static partition cannot rebalance around a vanished machine), and
+    the per-shard chaos knobs give way to ``chaos_kill_host``: SIGKILL
+    that host's worker once its stream holds ``chaos_kill_after``
+    records *and declare the host vanished* — the slot is never
+    relaunched and its leases reclaim onto live workers, which is the
+    path a genuinely unreachable host (repeated transport errors)
+    takes too.  Mid-campaign joins are read from ``hosts.json`` in the
+    run dir (``{"join": ["store:/tmp/h3", ...]}``, append-only).
     """
+    transports: dict[int, Transport] | None = None
+    if hosts is not None:
+        if shards is not None:
+            raise ValueError("pass hosts or shards, not both")
+        if len(hosts) < 1:
+            raise ValueError("hosts must name at least one host")
+        if chaos_kill_shard is not None or chaos_slow_shard is not None:
+            raise ValueError(
+                "per-shard chaos injection (chaos_kill_shard/"
+                "chaos_slow_shard) is single-machine only; use "
+                "chaos_kill_host in hosts mode"
+            )
+        if chaos_kill_host is not None and not 0 <= chaos_kill_host < len(
+            hosts
+        ):
+            raise ValueError(
+                f"chaos_kill_host must be in [0, {len(hosts)}), got "
+                f"{chaos_kill_host}"
+            )
+        transports = {
+            index: host if isinstance(host, Transport)
+            else parse_host(str(host))
+            for index, host in enumerate(hosts)
+        }
+        labels = [transport.describe() for transport in transports.values()]
+        for label in labels:
+            if labels.count(label) > 1:
+                raise ValueError(f"host {label} listed twice")
+        shards = len(hosts)
+        # A static partition cannot rebalance around a vanished
+        # machine; hosts mode is lease-board scheduling, always.
+        scheduler = "stealing"
+        if max_concurrent is None:
+            # Elastic joins must be launchable the tick they register.
+            max_concurrent = 10**9
+    else:
+        if shards is None:
+            raise ValueError("shards is required without hosts")
+        if chaos_kill_host is not None:
+            raise ValueError("chaos_kill_host needs hosts mode")
+    if run_dir is None:
+        raise ValueError("run_dir is required")
     if shards < 1:
         raise ValueError("shards must be >= 1")
     if workers_per_shard < 1:
@@ -390,10 +558,10 @@ def orchestrate_campaign(
         if on_event is not None:
             on_event(message)
 
-    run_path = Path(run_dir)
-    run_path.mkdir(parents=True, exist_ok=True)
+    layout = RunLayout(run_dir).ensure()
+    run_path = layout.root
     spec_hash = campaign_spec_hash(spec)
-    spec_file = run_path / "spec.json"
+    spec_file = layout.spec
     spec_file.write_text(
         json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
@@ -412,10 +580,14 @@ def orchestrate_campaign(
     statuses = [
         ShardStatus(
             index=index,
-            stream=run_path / f"shard{index}.jsonl",
-            heartbeat=run_path / f"shard{index}.heartbeat",
-            log=run_path / f"shard{index}.log",
+            stream=layout.stream(index),
+            heartbeat=layout.heartbeat(index),
+            log=layout.log(index),
             expected_tasks=sizes[index],
+            host=(
+                transports[index].describe() if transports is not None
+                else ""
+            ),
         )
         for index in range(shards)
     ]
@@ -424,7 +596,7 @@ def orchestrate_campaign(
         return _orchestrate_stealing(
             spec_file=spec_file,
             spec_hash=spec_hash,
-            run_path=run_path,
+            layout=layout,
             statuses=statuses,
             keys=keys,
             shards=shards,
@@ -441,6 +613,8 @@ def orchestrate_campaign(
             chaos_kill_after=chaos_kill_after,
             chaos_slow_shard=chaos_slow_shard,
             chaos_slow_s=chaos_slow_s,
+            transports=transports,
+            chaos_kill_host=chaos_kill_host,
         )
 
     for status in statuses:
@@ -483,19 +657,13 @@ def orchestrate_campaign(
         # Arm the stall clock at launch: a worker that wedges before
         # its first task still trips the timeout.
         status.heartbeat.touch()
-        handle = open(status.log, "a", encoding="utf-8")
-        handle.write(f"--- attempt {status.attempts} ---\n")
-        handle.flush()
-        process = subprocess.Popen(
+        process, handle = _spawn_worker(
             _worker_command(
                 spec_file, status, shards, workers_per_shard, cache_dir
             ),
-            stdout=handle,
-            stderr=subprocess.STDOUT,
-            env=_worker_environment(status, chaos_slow_shard, chaos_slow_s),
-            # Own session/process group, so killing a worker also
-            # reaps its simulation pool children (see _Worker.kill).
-            start_new_session=True,
+            status.log,
+            status.attempts,
+            _worker_environment(status, chaos_slow_shard, chaos_slow_s),
         )
         running.append(
             _Worker(status, process, handle, time.monotonic())
@@ -638,7 +806,7 @@ def orchestrate_campaign(
         status.stream for status in statuses if status.state == "done"
     ]
     return _collect(
-        run_path, done_streams, total_tasks, statuses, event, "static"
+        layout, done_streams, total_tasks, statuses, event, "static"
     )
 
 
@@ -666,16 +834,17 @@ def _emit_shard_summaries(
 
 
 def _collect(
-    run_path: Path,
+    layout: RunLayout,
     streams: Sequence[Path],
     total_tasks: int,
     statuses: list[ShardStatus],
     event: EventCallback,
     scheduler: str,
+    hosts: Sequence[str] = (),
 ) -> OrchestratorResult:
     """The shared endgame: summaries, merge, completeness check."""
     _emit_shard_summaries(statuses, event)
-    merged = run_path / "campaign.jsonl"
+    merged = layout.merged_stream
     info = merge_streams(merged, streams)
     if len(info.records) != total_tasks:
         raise OrchestratorError(
@@ -692,13 +861,20 @@ def _collect(
         merged_stream=merged,
         shards=statuses,
         scheduler=scheduler,
+        hosts=tuple(hosts),
     )
+
+
+#: Consecutive transport failures against one host before its slot is
+#: declared lost and its leases reclaimed (one flaky tick is noise; a
+#: streak means the machine is gone).
+VANISH_AFTER = 3
 
 
 def _orchestrate_stealing(
     spec_file: Path,
     spec_hash: str,
-    run_path: Path,
+    layout: RunLayout,
     statuses: list[ShardStatus],
     keys: list[str],
     shards: int,
@@ -715,6 +891,8 @@ def _orchestrate_stealing(
     chaos_kill_after: int,
     chaos_slow_shard: int | None,
     chaos_slow_s: float,
+    transports: dict[int, Transport] | None = None,
+    chaos_kill_host: int | None = None,
 ) -> OrchestratorResult:
     """The stealing scheduler's supervision loop.
 
@@ -726,7 +904,61 @@ def _orchestrate_stealing(
     moves unstarted leases from laggards to idle workers each tick.
     Every shard launches a worker — even one whose initial partition is
     empty is a steal target.
+
+    With ``transports`` (hosts mode) each slot's worker runs against a
+    remote root: the spec and every assignment rewrite are pushed out
+    through the slot's transport, and each tick pulls the host's
+    stream + heartbeat back into the local layout (atomic replace,
+    mtime preserved), so everything below the mirror line — the tail
+    cursors, stall detection, completion accounting, the merge — runs
+    on local files exactly as in the single-machine case.  Three
+    things are genuinely new: joins (specs appended to ``hosts.json``
+    become fresh slots mid-run), losses (a host that keeps failing its
+    transport, or the ``chaos_kill_host`` injection, is declared
+    ``lost`` — never relaunched, leases reclaimed onto live workers),
+    and launch, which goes through the transport.
     """
+    run_path = layout.root
+    hosts_mode = transports is not None
+    lost: set[int] = set()
+    failures: dict[int, int] = {status.index: 0 for status in statuses}
+
+    def push_assignment(worker: int, path: Path) -> None:
+        """Board ``on_write`` hook: mirror the rewrite to the host.
+
+        A push to a lost host is skipped (its leases are reclaimed or
+        about to be); a *failing* push feeds the same strike counter
+        the mirror pulls use, so an unreachable host converges to lost
+        no matter which direction noticed first.
+        """
+        transport = transports.get(worker)
+        if transport is None or worker in lost:
+            return
+        try:
+            transport.push(path, RunLayout.assignment_name(worker))
+            failures[worker] = 0
+        except TransportError as exc:
+            failures[worker] = failures.get(worker, 0) + 1
+            event(
+                f"host {transport.describe()} (shard {worker}): "
+                f"assignment push failed ({failures[worker]}/"
+                f"{VANISH_AFTER}): {exc}"
+            )
+
+    if hosts_mode:
+        for index, transport in sorted(transports.items()):
+            transport.push(spec_file, RunLayout.spec_name())
+            event(
+                f"host {transport.describe()}: registered as shard "
+                f"{index}"
+            )
+            # Resume support: mirror whatever stream the host already
+            # holds before the board is built, so its records count as
+            # done exactly like a local resumed run dir's would.
+            transport.pull(
+                RunLayout.stream_name(index), layout.stream(index)
+            )
+
     total_tasks = len(keys)
     # Resume: anything any existing stream records is done for good;
     # the lease board never hands those keys out again.  Validating
@@ -758,6 +990,7 @@ def _orchestrate_stealing(
         spec_hash=spec_hash,
         batch=batch,
         done=pre_done,
+        on_write=push_assignment if hosts_mode else None,
     )
     for status in statuses:
         event(
@@ -771,6 +1004,8 @@ def _orchestrate_stealing(
         status.index: StreamTailKeys(status.stream) for status in statuses
     }
     chaos_pending = chaos_kill_shard is not None
+    chaos_host_pending = chaos_kill_host is not None
+    joined = 0
     closed = False
     last_progress = -1
 
@@ -781,33 +1016,136 @@ def _orchestrate_stealing(
             board.record_done(key)
         status.recorded = len(seen[status.index])
 
+    def declare_lost(status: ShardStatus, why: str) -> None:
+        """A host vanished: retire its slot, leave its leases to reclaim.
+
+        The slot is never relaunched (unlike a dead *worker*, whose
+        machine is still there) — its undone leases stay on the board
+        until the reclaim step re-leases them to live idle workers,
+        which is the same path a queued workerless slot takes.  Counts
+        as a requeue: the work is requeued, just not onto this slot.
+        """
+        for worker in list(running):
+            if worker.status is status:
+                running.remove(worker)
+                worker.kill()
+                worker.close_log()
+                if worker.process.returncode is not None:
+                    status.exit_codes.append(worker.process.returncode)
+        if status in queue:
+            queue.remove(status)
+        status.state = "lost"
+        status.requeues += 1
+        lost.add(status.index)
+        event(
+            f"host {status.host or status.index} (shard {status.index}) "
+            f"vanished ({why}); requeuing its "
+            f"{len(board.remaining(status.index))} remaining lease(s) "
+            f"for reclaim by live workers"
+        )
+
+    def poll_joins() -> None:
+        """Fold new ``hosts.json`` entries in as fresh board slots.
+
+        The file is append-only (``{"join": [spec, ...]}``); entries
+        are consumed by position, so re-reads are idempotent and a
+        malformed tail entry cannot double-register earlier hosts.  A
+        bad spec or an unreachable host burns its entry with an event
+        instead of aborting a campaign that was running fine.
+        """
+        nonlocal joined
+        try:
+            document = json.loads(
+                layout.hosts_file.read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return
+        entries = (
+            document.get("join") if isinstance(document, dict) else None
+        )
+        if not isinstance(entries, list):
+            return
+        for entry in entries[joined:]:
+            joined += 1
+            try:
+                transport = parse_host(str(entry))
+            except ValueError as exc:
+                event(f"join: bad host spec {entry!r}: {exc}")
+                continue
+            if any(
+                transport.describe() == other.describe()
+                for other in transports.values()
+            ):
+                event(
+                    f"join: host {transport.describe()} is already a "
+                    f"slot; ignoring"
+                )
+                continue
+            index = board.workers
+            transports[index] = transport
+            try:
+                transport.push(spec_file, RunLayout.spec_name())
+            except TransportError as exc:
+                del transports[index]
+                event(
+                    f"join: host {transport.describe()} unreachable "
+                    f"({exc}); not registered"
+                )
+                continue
+            failures[index] = 0
+            seen[index] = set()
+            board.add_worker()
+            status = ShardStatus(
+                index=index,
+                stream=layout.stream(index),
+                heartbeat=layout.heartbeat(index),
+                log=layout.log(index),
+                expected_tasks=0,
+                host=transport.describe(),
+            )
+            statuses.append(status)
+            tailers[index] = StreamTailKeys(status.stream)
+            queue.append(status)
+            event(
+                f"join: host {transport.describe()} registered as shard "
+                f"{index}; leases will rebalance onto it"
+            )
+
     def launch(status: ShardStatus) -> None:
-        nonlocal chaos_pending
+        nonlocal chaos_pending, chaos_host_pending
+        transport = transports[status.index] if hosts_mode else None
         status.attempts += 1
         status.state = "running"
         # Arm the stall clock at launch: a worker that wedges before
-        # its first task still trips the timeout.
+        # its first task still trips the timeout.  (In hosts mode the
+        # local mirror is the clock; remote mtimes overwrite it only
+        # once the host's heartbeat exists.)
         status.heartbeat.touch()
-        handle = open(status.log, "a", encoding="utf-8")
-        handle.write(f"--- attempt {status.attempts} ---\n")
-        handle.flush()
-        process = subprocess.Popen(
-            _worker_command(
+        if hosts_mode:
+            command = _host_worker_command(
+                transport, status.index, workers_per_shard, cache_dir
+            )
+            env = _worker_env() if transport.runs_locally else None
+            launcher = transport.launch
+        else:
+            command = _worker_command(
                 spec_file, status, shards, workers_per_shard, cache_dir,
                 tasks_file=board.path(status.index),
-            ),
-            stdout=handle,
-            stderr=subprocess.STDOUT,
-            env=_worker_environment(status, chaos_slow_shard, chaos_slow_s),
-            # Own session/process group, so killing a worker also
-            # reaps its simulation pool children (see _Worker.kill).
-            start_new_session=True,
+            )
+            env = _worker_environment(
+                status, chaos_slow_shard, chaos_slow_s
+            )
+            launcher = _local_launch
+        process, handle = _spawn_worker(
+            command, status.log, status.attempts, env, launcher
         )
         running.append(_Worker(status, process, handle, time.monotonic()))
+        host_note = f" on {status.host}" if status.host else ""
         event(
             f"launched shard {status.index} attempt {status.attempts} "
             f"(pid {process.pid}, "
             f"{len(board.remaining(status.index))} leased task(s))"
+            f"{host_note}"
         )
         if (
             chaos_pending
@@ -821,6 +1159,18 @@ def _orchestrate_stealing(
                 f"chaos: SIGKILL shard {status.index} worker "
                 f"(pid {process.pid}) at launch"
             )
+        if (
+            chaos_host_pending
+            and status.index == chaos_kill_host
+            and status.attempts == 1
+            and chaos_kill_after <= len(seen[status.index])
+        ):
+            chaos_host_pending = False
+            event(
+                f"chaos: SIGKILL shard {status.index} worker "
+                f"(pid {process.pid}) at launch; its host vanishes"
+            )
+            declare_lost(status, "chaos host kill")
 
     def abort(status: ShardStatus, why: str) -> None:
         for worker in running:
@@ -860,19 +1210,71 @@ def _orchestrate_stealing(
                     f"recorded; shard streams are incomplete"
                 )
             time.sleep(poll_interval)
-            # Liveness beacon: freshen every assignment file's mtime so
-            # an idle worker's supervisor-death timeout (`repro campaign
-            # --tasks --wait-timeout`) never fires while this loop runs.
-            for status in statuses:
-                try:
-                    os.utime(board.path(status.index))
-                except OSError:  # pragma: no cover - replaced mid-utime
-                    pass
+            if hosts_mode:
+                poll_joins()
+                # Beacon + mirror tick, one transport round per live
+                # slot: freshen the remote assignment's mtime (the
+                # idle worker's supervisor-liveness signal), then pull
+                # the host's stream and heartbeat into the local
+                # layout — atomic replace with the remote mtime kept,
+                # so the tail cursors and the stall clock below read
+                # the mirrors as if the worker were local.
+                for status in list(statuses):
+                    if status.index in lost or status.state == "done":
+                        continue
+                    transport = transports[status.index]
+                    try:
+                        transport.touch(
+                            RunLayout.assignment_name(status.index)
+                        )
+                        transport.pull(
+                            RunLayout.stream_name(status.index),
+                            status.stream,
+                        )
+                        transport.pull(
+                            RunLayout.heartbeat_name(status.index),
+                            status.heartbeat,
+                        )
+                        failures[status.index] = 0
+                    except TransportError as exc:
+                        failures[status.index] += 1
+                        if failures[status.index] >= VANISH_AFTER:
+                            declare_lost(
+                                status,
+                                f"{failures[status.index]} consecutive "
+                                f"transport failures; last: {exc}",
+                            )
+            else:
+                # Liveness beacon: freshen every assignment file's
+                # mtime so an idle worker's supervisor-death timeout
+                # (`repro campaign --tasks --wait-timeout`) never
+                # fires while this loop runs.
+                for status in statuses:
+                    try:
+                        os.utime(board.path(status.index))
+                    except OSError:  # pragma: no cover - replaced mid-utime
+                        pass
             for status in statuses:
                 ingest(status)
             for worker in list(running):
                 status = worker.status
                 return_code = worker.process.poll()
+                if (
+                    chaos_host_pending
+                    and status.index == chaos_kill_host
+                    and status.attempts == 1
+                    and len(seen[status.index]) >= chaos_kill_after
+                    and return_code is None
+                ):
+                    chaos_host_pending = False
+                    event(
+                        f"chaos: SIGKILL shard {status.index} worker "
+                        f"(pid {worker.process.pid}) after "
+                        f"{status.recorded} recorded task(s); its host "
+                        f"vanishes"
+                    )
+                    declare_lost(status, "chaos host kill")
+                    continue
                 if (
                     chaos_pending
                     and status.index == chaos_kill_shard
@@ -911,6 +1313,16 @@ def _orchestrate_stealing(
                     and status.attempts == 1
                 ):
                     chaos_pending = False
+                    event(
+                        f"chaos: shard {status.index} worker finished "
+                        f"before the injection could fire; nothing killed"
+                    )
+                if (
+                    chaos_host_pending
+                    and status.index == chaos_kill_host
+                    and status.attempts == 1
+                ):
+                    chaos_host_pending = False
                     event(
                         f"chaos: shard {status.index} worker finished "
                         f"before the injection could fire; nothing killed"
@@ -971,7 +1383,7 @@ def _orchestrate_stealing(
                 if idle:
                     for status in statuses:
                         if (
-                            status.state != "pending"
+                            status.state not in ("pending", "lost")
                             or status.index in alive
                             or not board.remaining(status.index)
                         ):
@@ -984,10 +1396,17 @@ def _orchestrate_stealing(
                             share = reclaimed[offset::len(idle)]
                             board.lease(thief, share)
                             statuses[thief].stolen_to += len(share)
+                        slot_why = (
+                            "host vanished" if status.state == "lost"
+                            else "no worker in flight"
+                        )
+                        slot_kind = (
+                            "lost" if status.state == "lost" else "queued"
+                        )
                         event(
                             f"reclaim: moved all {len(reclaimed)} "
-                            f"lease(s) from queued shard "
-                            f"{status.index} (no worker in flight) to "
+                            f"lease(s) from {slot_kind} shard "
+                            f"{status.index} ({slot_why}) to "
                             f"idle shard(s) "
                             f"{', '.join(str(t) for t in idle)}"
                         )
@@ -1028,7 +1447,14 @@ def _orchestrate_stealing(
         if status.stream.exists() and status.stream.stat().st_size > 0
     ]
     return _collect(
-        run_path, streams, total_tasks, statuses, event, "stealing"
+        layout, streams, total_tasks, statuses, event, "stealing",
+        hosts=(
+            tuple(
+                transports[index].describe()
+                for index in sorted(transports)
+            )
+            if hosts_mode else ()
+        ),
     )
 
 

@@ -47,8 +47,9 @@ import math
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
+from repro.experiments.layout import RunLayout
 from repro.seeding import shard_partition
 
 __all__ = [
@@ -105,8 +106,13 @@ class Assignment:
 
 
 def assignment_path(run_dir: str | Path, worker: int) -> Path:
-    """Where worker ``worker``'s assignment file lives in a run dir."""
-    return Path(run_dir) / f"shard{worker}.tasks.json"
+    """Where worker ``worker``'s assignment file lives in a run dir.
+
+    Thin veneer over :class:`~repro.experiments.layout.RunLayout` — the
+    layout module owns the name; this wrapper survives for callers that
+    think in ``(run_dir, worker)`` pairs.
+    """
+    return RunLayout(run_dir).assignment(worker)
 
 
 def write_assignment(
@@ -211,6 +217,7 @@ class LeaseBoard:
         spec_hash: str,
         batch: int = 1,
         done: Iterable[str] = (),
+        on_write: Callable[[int, Path], None] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -224,6 +231,11 @@ class LeaseBoard:
         self.keys = tuple(keys)
         self.done: set[str] = set(done) & set(keys)
         self.closed = False
+        #: Called as ``on_write(worker, path)`` after every assignment
+        #: rewrite.  The multi-host supervisor hangs its transport push
+        #: here, so the remote copy of an assignment file can never lag
+        #: more than one atomic rewrite behind the board.
+        self.on_write = on_write
         self._versions = [0] * workers
         # The static split is the starting point; keys a resumed run
         # dir already records are never leased at all.
@@ -260,6 +272,25 @@ class LeaseBoard:
             closed=self.closed,
             version=self._versions[worker],
         )
+        if self.on_write is not None:
+            self.on_write(worker, self.path(worker))
+
+    def add_worker(self) -> int:
+        """Register a new (elastic-join) slot; returns its worker index.
+
+        The slot starts with an empty lease set — an atomically written,
+        open assignment file its worker can wait on — and fills up
+        through the normal rebalancing machinery (:func:`plan_steals`
+        moves work to it as soon as it is live and idle, or a reclaim
+        re-leases a dead slot's keys onto it).  Joining a board that has
+        already :meth:`close_all`-ed gets a *closed* empty assignment,
+        so a late worker exits immediately instead of waiting forever.
+        """
+        worker = self.workers
+        self.assignments.append([])
+        self._versions.append(0)
+        self._write(worker)
+        return worker
 
     def record_done(self, key: str) -> None:
         """Fold one recorded task key (from any worker's stream) in."""

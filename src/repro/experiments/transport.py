@@ -1,0 +1,620 @@
+"""Pluggable file transports: move campaign artifacts between hosts.
+
+The orchestrator's worker protocol is entirely file-based — spec,
+stream, heartbeat, and assignment files (see
+:class:`~repro.experiments.layout.RunLayout`) — so running a campaign
+across machines is a *transport* problem, not a protocol change.  This
+module is that transport seam: a small ABC over the file operations the
+supervisor needs, with three implementations.
+
+- :class:`LocalTransport` — direct I/O on a local root.  When the root
+  *is* the supervisor's run dir, ``push``/``pull`` detect that source
+  and destination are one file and become zero-copy no-ops, which is
+  how the single-machine scheduler runs through the same code path as
+  a fleet with no overhead.
+- :class:`SSHTransport` — ``scp``/``ssh`` file movement plus remote
+  worker launch (``python3 -m repro.cli campaign --tasks ...`` over
+  ``ssh``).  The remote host only needs the ``repro`` package
+  importable by ``python3``; everything else is plain OpenSSH.
+- :class:`ObjectStoreTransport` — S3-style put/get/list object
+  semantics backed by a local directory.  It stands in for a shared
+  filesystem or bucket, and doubles as the CI-testable remote: a
+  "host" is just a store root, its worker a local subprocess whose
+  files live there, so multi-host orchestration is exercised end to
+  end with no network at all.
+
+Path arguments are *names relative to the transport's root* (the
+strings :class:`~repro.experiments.layout.RunLayout` defines), so one
+layout describes both the supervisor's mirror dir and every remote
+root.  All write operations are atomic at file granularity (temp file
++ rename, or the SSH equivalent): a reader — human, worker, or the
+supervisor's stream tailer — never sees a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import IO, Sequence
+
+__all__ = [
+    "LocalTransport",
+    "ObjectStoreTransport",
+    "SSHTransport",
+    "Transport",
+    "TransportError",
+    "parse_host",
+    "parse_hosts",
+]
+
+
+class TransportError(RuntimeError):
+    """A transport operation failed (unreachable host, bad root, I/O)."""
+
+
+def _atomic_write_file(target: Path, data: bytes) -> None:
+    """Local atomic write: temp file in the target dir, then rename."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise TransportError(f"cannot write {target}: {exc}") from exc
+
+
+class Transport(ABC):
+    """File operations against one host's run-dir root.
+
+    ``rel`` arguments are root-relative names from
+    :class:`~repro.experiments.layout.RunLayout`; they must stay inside
+    the root (no absolute paths, no ``..``).
+    """
+
+    #: Whether :meth:`launch` runs the worker on *this* machine (so the
+    #: supervisor should hand it a full local environment, e.g. the
+    #: ``PYTHONPATH`` that makes ``repro`` importable from a checkout).
+    runs_locally = False
+
+    def _check_rel(self, rel: str) -> str:
+        parts = Path(rel).parts
+        if Path(rel).is_absolute() or ".." in parts or not parts:
+            raise TransportError(
+                f"transport paths are root-relative names, got {rel!r}"
+            )
+        return rel
+
+    @abstractmethod
+    def push(self, local: str | Path, rel: str) -> None:
+        """Ship a local file to ``rel`` on the host (atomic replace)."""
+
+    @abstractmethod
+    def pull(self, rel: str, local: str | Path) -> bool:
+        """Mirror ``rel`` back into a local file (atomic replace).
+
+        Returns ``False`` — touching nothing — when the remote file
+        does not exist yet (a worker that has not started writing).
+        """
+
+    @abstractmethod
+    def touch(self, rel: str) -> None:
+        """Create ``rel`` if missing and freshen its mtime."""
+
+    @abstractmethod
+    def mtime(self, rel: str) -> float | None:
+        """``rel``'s modification time (host clock), ``None`` if missing."""
+
+    @abstractmethod
+    def exists(self, rel: str) -> bool:
+        """Whether ``rel`` exists on the host."""
+
+    @abstractmethod
+    def atomic_write(self, rel: str, data: bytes) -> None:
+        """Write ``data`` to ``rel`` so no reader ever sees a torn file."""
+
+    @abstractmethod
+    def open_append(self, rel: str) -> IO[bytes]:
+        """An append handle on ``rel`` (workers' stream discipline)."""
+
+    @abstractmethod
+    def launch(
+        self,
+        command: Sequence[str],
+        stdout: IO,
+        env: dict[str, str] | None = None,
+    ) -> subprocess.Popen:
+        """Start a worker process on the host, logging into ``stdout``.
+
+        The returned handle follows the orchestrator's kill discipline:
+        it runs in its own session, so a process-group SIGKILL takes the
+        worker and everything it spawned (locally, that is the worker's
+        simulation pool; for SSH it is the local client, whose death
+        hangs up the remote side).
+        """
+
+    @abstractmethod
+    def command_head(self) -> list[str]:
+        """The argv prefix that invokes the ``repro`` CLI on this host."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A short human-readable host label for events and errors."""
+
+
+class LocalTransport(Transport):
+    """Direct I/O on a local directory root.
+
+    The degenerate — and most important — case: when ``root`` is the
+    supervisor's own run dir, every push/pull is a same-file no-op and
+    the transported orchestrator is byte-for-byte the single-machine
+    one.  A *different* local root behaves like a remote host that
+    happens to share the filesystem (useful for NFS-style shared
+    storage, and in tests).
+    """
+
+    runs_locally = True
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _path(self, rel: str) -> Path:
+        return self.root / self._check_rel(rel)
+
+    @staticmethod
+    def _same_file(a: Path, b: Path) -> bool:
+        try:
+            return os.path.samefile(a, b)
+        except OSError:
+            # One side missing: resolve textually (covers the
+            # zero-copy check before the file first exists).
+            return a.resolve() == b.resolve()
+
+    def _copy(self, source: Path, target: Path) -> bool:
+        if self._same_file(source, target):
+            return source.exists()
+        if not source.exists():
+            return False
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        try:
+            shutil.copy2(source, tmp)  # copy2: mtime survives the hop
+            os.replace(tmp, target)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise TransportError(
+                f"cannot copy {source} -> {target}: {exc}"
+            ) from exc
+        return True
+
+    def push(self, local: str | Path, rel: str) -> None:
+        if not self._copy(Path(local), self._path(rel)):
+            raise TransportError(f"cannot push missing file {local}")
+
+    def pull(self, rel: str, local: str | Path) -> bool:
+        return self._copy(self._path(rel), Path(local))
+
+    def touch(self, rel: str) -> None:
+        target = self._path(rel)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.touch()
+        except OSError as exc:
+            raise TransportError(f"cannot touch {target}: {exc}") from exc
+
+    def mtime(self, rel: str) -> float | None:
+        try:
+            return self._path(rel).stat().st_mtime
+        except OSError:
+            return None
+
+    def exists(self, rel: str) -> bool:
+        return self._path(rel).exists()
+
+    def atomic_write(self, rel: str, data: bytes) -> None:
+        _atomic_write_file(self._path(rel), data)
+
+    def open_append(self, rel: str) -> IO[bytes]:
+        target = self._path(rel)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        return open(target, "ab")
+
+    def launch(
+        self,
+        command: Sequence[str],
+        stdout: IO,
+        env: dict[str, str] | None = None,
+    ) -> subprocess.Popen:
+        try:
+            return subprocess.Popen(
+                list(command),
+                stdout=stdout,
+                stderr=subprocess.STDOUT,
+                env=env,
+                # Own session/process group, so killing the worker also
+                # reaps its simulation pool children.
+                start_new_session=True,
+            )
+        except OSError as exc:
+            raise TransportError(f"cannot launch worker: {exc}") from exc
+
+    def command_head(self) -> list[str]:
+        return [sys.executable, "-m", "repro.cli"]
+
+    def describe(self) -> str:
+        return f"local:{self.root}"
+
+
+class ObjectStoreTransport(Transport):
+    """A directory-backed object store: put/get/list over whole objects.
+
+    The S3-usage model — atomic whole-object ``put``, whole-object
+    ``get``, prefix ``list`` — implemented on a plain directory, so it
+    works unchanged as a shared-filesystem stand-in, a bucket-mount
+    stand-in, and the CI-testable double for a remote host: since the
+    backing directory *is* a real filesystem, a pseudo-host's worker is
+    simply a local subprocess whose run files live in the store.
+
+    ``open_append`` is the one place the stand-in is more capable than
+    a real bucket (objects here support append because files do);
+    workers rely on it for their streams, which is exactly why a real
+    S3 deployment would keep worker streams on local disk and sync —
+    the supervisor side only ever uses whole-object pull.
+    """
+
+    runs_locally = True
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _backing(self, key: str) -> Path:
+        return self.root / self._check_rel(key)
+
+    # -- the object API -------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> None:
+        """Store a whole object atomically (last writer wins)."""
+        _atomic_write_file(self._backing(key), data)
+
+    def get(self, key: str) -> bytes:
+        """The object's full content; :class:`TransportError` if absent."""
+        try:
+            return self._backing(key).read_bytes()
+        except OSError as exc:
+            raise TransportError(
+                f"no object {key!r} in store {self.root}: {exc}"
+            ) from exc
+
+    def list(self, prefix: str = "") -> list[str]:
+        """Keys under ``prefix``, sorted (S3-style flat enumeration)."""
+        if prefix:
+            self._check_rel(prefix)
+        if not self.root.is_dir():
+            return []
+        keys = [
+            str(path.relative_to(self.root))
+            for path in self.root.rglob("*")
+            if path.is_file()
+        ]
+        return sorted(key for key in keys if key.startswith(prefix))
+
+    # -- the Transport surface, mapped onto put/get ---------------------
+
+    def push(self, local: str | Path, rel: str) -> None:
+        try:
+            data = Path(local).read_bytes()
+        except OSError as exc:
+            raise TransportError(
+                f"cannot push missing file {local}"
+            ) from exc
+        self.put(rel, data)
+
+    def pull(self, rel: str, local: str | Path) -> bool:
+        if not self.exists(rel):
+            return False
+        data = self.get(rel)
+        target = Path(local)
+        _atomic_write_file(target, data)
+        remote_mtime = self.mtime(rel)
+        if remote_mtime is not None:
+            # Mirrors keep the object's timestamp, so freshness checks
+            # on a pulled copy agree with ``mtime()`` on the store.
+            os.utime(target, (remote_mtime, remote_mtime))
+        return True
+
+    def touch(self, rel: str) -> None:
+        backing = self._backing(rel)
+        try:
+            if backing.exists():
+                os.utime(backing)
+            else:
+                self.put(rel, b"")
+        except OSError as exc:
+            raise TransportError(f"cannot touch {rel!r}: {exc}") from exc
+
+    def mtime(self, rel: str) -> float | None:
+        try:
+            return self._backing(rel).stat().st_mtime
+        except OSError:
+            return None
+
+    def exists(self, rel: str) -> bool:
+        return self._backing(rel).is_file()
+
+    def atomic_write(self, rel: str, data: bytes) -> None:
+        self.put(rel, data)
+
+    def open_append(self, rel: str) -> IO[bytes]:
+        backing = self._backing(rel)
+        backing.parent.mkdir(parents=True, exist_ok=True)
+        return open(backing, "ab")
+
+    def launch(
+        self,
+        command: Sequence[str],
+        stdout: IO,
+        env: dict[str, str] | None = None,
+    ) -> subprocess.Popen:
+        # A store pseudo-host's worker is a local subprocess whose run
+        # files live in the store root — same kill discipline as local.
+        try:
+            return subprocess.Popen(
+                list(command),
+                stdout=stdout,
+                stderr=subprocess.STDOUT,
+                env=env,
+                start_new_session=True,
+            )
+        except OSError as exc:
+            raise TransportError(f"cannot launch worker: {exc}") from exc
+
+    def command_head(self) -> list[str]:
+        return [sys.executable, "-m", "repro.cli"]
+
+    def describe(self) -> str:
+        return f"store:{self.root}"
+
+
+class SSHTransport(Transport):
+    """rsync/scp-style file movement and worker launch over OpenSSH.
+
+    ``[user@]host[:root]`` host specs come from ``--hosts``; ``root``
+    defaults to ``repro-run`` under the remote home.  Requirements on
+    the remote side: reachable via non-interactive ``ssh`` (keys or
+    agent — ``BatchMode=yes`` is forced so a password prompt fails fast
+    instead of hanging the supervisor), and the ``repro`` package
+    importable by ``python3``.  Remote mtimes are read off the remote
+    clock; keep fleet clocks NTP-sane or stall timeouts drift.
+
+    Every operation shells out; anything returning nonzero raises
+    :class:`TransportError` with the captured stderr.  Argv construction
+    is split into pure ``*_argv`` helpers so tests can pin the exact
+    commands without a live host.
+    """
+
+    #: Seconds an individual ssh/scp control operation may take.
+    OP_TIMEOUT = 30.0
+
+    def __init__(
+        self,
+        host: str,
+        root: str = "repro-run",
+        user: str | None = None,
+        remote_python: str = "python3",
+        ssh_options: Sequence[str] = (),
+    ) -> None:
+        if not host:
+            raise ValueError("SSH transport needs a host name")
+        if Path(root).is_absolute() and ".." in Path(root).parts:
+            raise ValueError(f"bad remote root {root!r}")
+        self.host = host
+        self.user = user
+        self.root = root
+        self.remote_python = remote_python
+        self.ssh_options = tuple(ssh_options)
+
+    @property
+    def target(self) -> str:
+        return f"{self.user}@{self.host}" if self.user else self.host
+
+    def _remote_path(self, rel: str) -> str:
+        return f"{self.root}/{self._check_rel(rel)}"
+
+    def _options(self) -> list[str]:
+        return ["-o", "BatchMode=yes", *self.ssh_options]
+
+    def ssh_argv(self, remote_command: str) -> list[str]:
+        return ["ssh", *self._options(), self.target, remote_command]
+
+    def scp_push_argv(self, local: str | Path, rel: str) -> list[str]:
+        # scp into a temp name + mv keeps the replace atomic on the
+        # remote side, mirroring the local temp+rename discipline.
+        return self.ssh_argv(
+            f"mkdir -p {shlex.quote(self.root)} && cat > "
+            f"{shlex.quote(self._remote_path(rel) + '.tmp')} && mv "
+            f"{shlex.quote(self._remote_path(rel) + '.tmp')} "
+            f"{shlex.quote(self._remote_path(rel))}"
+        )
+
+    def scp_pull_argv(self, rel: str, local: str | Path) -> list[str]:
+        # -p preserves the remote mtime, which the supervisor's stall
+        # detector reads off the mirrored heartbeat.
+        return [
+            "scp", "-q", "-p", *self._options(),
+            f"{self.target}:{self._remote_path(rel)}", str(local),
+        ]
+
+    def worker_argv(self, command: Sequence[str],
+                    env: dict[str, str] | None = None) -> list[str]:
+        assignments = "".join(
+            f"{key}={shlex.quote(value)} " for key, value in (env or {}).items()
+        )
+        return self.ssh_argv(
+            assignments + " ".join(shlex.quote(part) for part in command)
+        )
+
+    def _run(
+        self, argv: Sequence[str], *, input_bytes: bytes | None = None
+    ) -> subprocess.CompletedProcess:
+        try:
+            done = subprocess.run(
+                list(argv),
+                input=input_bytes,
+                capture_output=True,
+                timeout=self.OP_TIMEOUT,
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            raise TransportError(
+                f"{self.describe()}: {argv[0]} failed: {exc}"
+            ) from exc
+        if done.returncode != 0:
+            stderr = done.stderr.decode("utf-8", "replace").strip()
+            raise TransportError(
+                f"{self.describe()}: {' '.join(argv[:2])}... exited "
+                f"{done.returncode}: {stderr or '<no stderr>'}"
+            )
+        return done
+
+    def push(self, local: str | Path, rel: str) -> None:
+        try:
+            data = Path(local).read_bytes()
+        except OSError as exc:
+            raise TransportError(
+                f"cannot push missing file {local}"
+            ) from exc
+        self._run(self.scp_push_argv(local, rel), input_bytes=data)
+
+    def pull(self, rel: str, local: str | Path) -> bool:
+        if not self.exists(rel):
+            return False
+        target = Path(local)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        try:
+            self._run(self.scp_pull_argv(rel, tmp))
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return True
+
+    def touch(self, rel: str) -> None:
+        self._run(self.ssh_argv(
+            f"mkdir -p {shlex.quote(self.root)} && touch "
+            f"{shlex.quote(self._remote_path(rel))}"
+        ))
+
+    def mtime(self, rel: str) -> float | None:
+        try:
+            done = self._run(self.ssh_argv(
+                f"stat -c %Y {shlex.quote(self._remote_path(rel))}"
+            ))
+        except TransportError:
+            return None
+        try:
+            return float(done.stdout.decode("ascii").strip())
+        except ValueError:
+            return None
+
+    def exists(self, rel: str) -> bool:
+        try:
+            self._run(self.ssh_argv(
+                f"test -e {shlex.quote(self._remote_path(rel))}"
+            ))
+        except TransportError:
+            return False
+        return True
+
+    def atomic_write(self, rel: str, data: bytes) -> None:
+        self._run(self.scp_push_argv("<memory>", rel), input_bytes=data)
+
+    def open_append(self, rel: str) -> IO[bytes]:
+        raise TransportError(
+            "append handles are not supported over SSH; remote workers "
+            "write their streams on their own host and the supervisor "
+            "pulls whole-file mirrors"
+        )
+
+    def launch(
+        self,
+        command: Sequence[str],
+        stdout: IO,
+        env: dict[str, str] | None = None,
+    ) -> subprocess.Popen:
+        try:
+            return subprocess.Popen(
+                self.worker_argv(command, env),
+                stdout=stdout,
+                stderr=subprocess.STDOUT,
+                # Killing the local ssh client's group hangs up the
+                # remote session, which takes the remote worker down.
+                start_new_session=True,
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"{self.describe()}: cannot launch ssh: {exc}"
+            ) from exc
+
+    def command_head(self) -> list[str]:
+        return [self.remote_python, "-m", "repro.cli"]
+
+    def describe(self) -> str:
+        return f"ssh:{self.target}"
+
+
+def parse_host(spec: str) -> Transport:
+    """One ``--hosts`` entry -> a transport, validated eagerly.
+
+    Syntax::
+
+        user@host            SSH, default remote root (repro-run)
+        host:/data/run       SSH with an explicit remote root
+        store:/shared/h1     directory-backed object store (pseudo-host)
+        local:/mnt/nfs/h1    plain local/shared-filesystem root
+
+    Raises :class:`ValueError` on anything malformed — the CLI calls
+    this at parse time, so a typo'd fleet spec dies before a single
+    simulation starts.
+    """
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty host spec")
+    scheme, sep, rest = text.partition(":")
+    if sep and scheme == "store":
+        if not rest:
+            raise ValueError(f"host spec {spec!r}: store: needs a directory")
+        return ObjectStoreTransport(rest)
+    if sep and scheme == "local":
+        if not rest:
+            raise ValueError(f"host spec {spec!r}: local: needs a directory")
+        return LocalTransport(rest)
+    address, _, root = text.partition(":")
+    user, at, host = address.rpartition("@")
+    if at and not user:
+        raise ValueError(f"host spec {spec!r}: empty user before '@'")
+    if not host:
+        raise ValueError(f"host spec {spec!r}: no host name")
+    if any(ch.isspace() for ch in text):
+        raise ValueError(f"host spec {spec!r}: whitespace not allowed")
+    return SSHTransport(
+        host=host, user=user or None, root=root or "repro-run"
+    )
+
+
+def parse_hosts(specs: Sequence[str]) -> list[Transport]:
+    """Parse a full ``--hosts`` list, refusing duplicates."""
+    transports = [parse_host(spec) for spec in specs]
+    seen: set[str] = set()
+    for transport in transports:
+        label = transport.describe()
+        if label in seen:
+            raise ValueError(f"host {label} listed twice")
+        seen.add(label)
+    return transports

@@ -771,6 +771,150 @@ class TestOrchestrateCli:
         assert "chaos_slow_shard" in capsys.readouterr().err
 
 
+class TestHostedOrchestrateCli:
+    """`--hosts`: distributed orchestration over transport specs."""
+
+    def _args(self, run_dir, *extra):
+        return [
+            "campaign",
+            "orchestrate",
+            "--name",
+            "cli-hosted",
+            "--radii",
+            "100,150",
+            "--node-counts",
+            "10",
+            "--protocols",
+            "glr",
+            "--replicates",
+            "1",
+            "--messages",
+            "2",
+            "--sim-time",
+            "15",
+            "--poll-interval",
+            "0.05",
+            "--dir",
+            str(run_dir),
+            *extra,
+        ]
+
+    def test_bad_host_spec_rejected_at_parse_time(self, tmp_path):
+        # argparse `type` validation: the parser itself exits 2 before
+        # any spec expansion or run-dir creation happens.
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._args(tmp_path / "r", "--hosts", "@nonsense"))
+        assert excinfo.value.code == 2
+        assert not (tmp_path / "r").exists()
+
+    def test_empty_hosts_rejected_at_parse_time(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._args(tmp_path, "--hosts", ""))
+        assert excinfo.value.code == 2
+
+    def test_hosts_conflicts_with_shards(self, capsys, tmp_path):
+        args = self._args(
+            tmp_path, "--shards", "2", "--hosts", f"store:{tmp_path}/h0"
+        )
+        assert main(args) == 2
+        assert "exactly one of --shards or --hosts" in (
+            capsys.readouterr().err
+        )
+
+    def test_one_of_shards_or_hosts_required(self, capsys, tmp_path):
+        assert main(self._args(tmp_path)) == 2
+        assert "exactly one of --shards or --hosts" in (
+            capsys.readouterr().err
+        )
+
+    def test_hosts_conflicts_with_static_scheduler(self, capsys, tmp_path):
+        args = self._args(
+            tmp_path,
+            "--hosts",
+            f"store:{tmp_path}/h0",
+            "--scheduler",
+            "static",
+        )
+        assert main(args) == 2
+        assert "--scheduler static conflicts with --hosts" in (
+            capsys.readouterr().err
+        )
+
+    def test_hosts_conflicts_with_per_shard_chaos(self, capsys, tmp_path):
+        args = self._args(
+            tmp_path,
+            "--hosts",
+            f"store:{tmp_path}/h0",
+            "--chaos-kill-shard",
+            "0",
+        )
+        assert main(args) == 2
+        assert "--chaos-kill-host" in capsys.readouterr().err
+
+    def test_chaos_kill_host_needs_hosts(self, capsys, tmp_path):
+        args = self._args(
+            tmp_path, "--shards", "2", "--chaos-kill-host", "0"
+        )
+        assert main(args) == 2
+        assert "--chaos-kill-host needs --hosts" in capsys.readouterr().err
+
+    def test_orchestrates_over_store_hosts(self, capsys, tmp_path):
+        hosts = f"store:{tmp_path}/h0,store:{tmp_path}/h1"
+        assert main(
+            self._args(tmp_path / "run", "--hosts", hosts)
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 host(s)" in out
+        assert (
+            "orchestrated (stealing scheduler"
+            " across 2 host(s)): 2 shard(s)" in out
+        )
+        assert (tmp_path / "run" / "campaign.jsonl").exists()
+        assert "cli-hosted/radius=100.0" in out
+        # The workers ran against the store roots.
+        assert (tmp_path / "h0" / "spec.json").exists()
+        assert (tmp_path / "h1" / "spec.json").exists()
+
+    def test_chaos_kill_host_recovers_end_to_end(self, capsys, tmp_path):
+        hosts = f"store:{tmp_path}/h0,store:{tmp_path}/h1"
+        code = main(
+            self._args(
+                tmp_path / "run",
+                "--hosts",
+                hosts,
+                "--chaos-kill-host",
+                "0",
+                "--chaos-kill-after",
+                "0",
+                "--steal-threshold",
+                "1",
+                "--lease-batch",
+                "1",
+            )
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vanished" in out
+        assert "reclaim: moved" in out
+        assert (tmp_path / "run" / "campaign.jsonl").exists()
+
+    def test_watch_dir_reads_mirrored_multi_host_run(
+        self, capsys, tmp_path
+    ):
+        hosts = f"store:{tmp_path}/h0,store:{tmp_path}/h1"
+        assert main(
+            self._args(tmp_path / "run", "--hosts", hosts)
+        ) == 0
+        capsys.readouterr()
+        # The run dir holds supervisor-side mirrors named exactly like
+        # local shard streams, so watch --dir needs no new flags.
+        assert main(
+            ["campaign", "watch", "--dir", str(tmp_path / "run"), "--once"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cli-hosted" in out
+
+
 class TestTasksCli:
     """`repro campaign --tasks FILE`: the stealing scheduler's worker
     mode, driven directly against a hand-written assignment file."""

@@ -666,3 +666,74 @@ class TestTraceContentHashKeys:
         task = self._task(tmp_path / "gone.ns2")
         with pytest.raises(OSError):
             task_key(task)
+
+
+class TestHostedEquivalence:
+    """Distribution must not change results: a campaign spread over
+    simulated remote hosts (ObjectStoreTransport roots) merges to the
+    same streams and aggregates as serial — even through a host that
+    vanishes mid-campaign."""
+
+    def _serial(self, v2_spec, tmp_path):
+        serial = run_campaign(
+            v2_spec, workers=1, stream_path=tmp_path / "serial.jsonl"
+        )
+        # Canonical-merge reference: what any sharded run's merged
+        # stream must match, independent of where each task executed.
+        for index in range(2):
+            run_campaign(
+                v2_spec,
+                workers=2,
+                stream_path=tmp_path / f"hand{index}.jsonl",
+                shard_index=index,
+                shard_count=2,
+            )
+        merge_streams(
+            tmp_path / "hand.jsonl",
+            [tmp_path / "hand0.jsonl", tmp_path / "hand1.jsonl"],
+        )
+        return serial
+
+    def test_two_simulated_hosts_equal_serial(self, v2_spec, tmp_path):
+        serial = self._serial(v2_spec, tmp_path)
+        hosted = orchestrate_campaign(
+            v2_spec,
+            run_dir=tmp_path / "hosted",
+            hosts=[f"store:{tmp_path}/h0", f"store:{tmp_path}/h1"],
+            workers_per_shard=2,
+            poll_interval=0.05,
+        )
+        assert hosted.scheduler == "stealing"
+        assert len(hosted.hosts) == 2
+        assert cell_fingerprints(hosted.result) == cell_fingerprints(serial)
+        assert hosted.result.render() == serial.render()
+        # The supervisor-side mirrors merge to the same records as a
+        # local sharded run would, up to per-run provenance.
+        assert stream_essence(hosted.merged_stream) == stream_essence(
+            tmp_path / "hand.jsonl"
+        )
+
+    def test_host_vanishing_mid_run_changes_nothing(
+        self, v2_spec, tmp_path
+    ):
+        serial = self._serial(v2_spec, tmp_path)
+        events: list[str] = []
+        hosted = orchestrate_campaign(
+            v2_spec,
+            run_dir=tmp_path / "chaos",
+            hosts=[f"store:{tmp_path}/c0", f"store:{tmp_path}/c1"],
+            poll_interval=0.05,
+            steal_threshold=1,
+            lease_batch=1,
+            chaos_kill_host=0,
+            chaos_kill_after=0,  # at launch: deterministic
+            on_event=events.append,
+        )
+        assert hosted.shards[0].state == "lost"
+        assert hosted.requeues >= 1
+        assert any(event.startswith("reclaim: moved") for event in events)
+        assert cell_fingerprints(hosted.result) == cell_fingerprints(serial)
+        assert hosted.result.render() == serial.render()
+        assert stream_essence(hosted.merged_stream) == stream_essence(
+            tmp_path / "hand.jsonl"
+        )

@@ -1,0 +1,84 @@
+"""Tests for the run-directory layout authority.
+
+The artifact names are frozen history: run dirs written by earlier
+releases use exactly these strings and resume/watch read them back, so
+every name here is pinned byte-for-byte — renaming one is a format
+break, and this file is where that break gets caught.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.layout import RunLayout
+
+
+class TestFrozenNames:
+    def test_artifact_names_are_pinned(self):
+        assert RunLayout.spec_name() == "spec.json"
+        assert RunLayout.merged_name() == "campaign.jsonl"
+        assert RunLayout.hosts_name() == "hosts.json"
+        assert RunLayout.stream_name(0) == "shard0.jsonl"
+        assert RunLayout.heartbeat_name(3) == "shard3.heartbeat"
+        assert RunLayout.log_name(7) == "shard7.log"
+        assert RunLayout.assignment_name(12) == "shard12.tasks.json"
+        assert RunLayout.STREAM_GLOB == "shard*.jsonl"
+
+    def test_paths_resolve_names_under_the_root(self, tmp_path):
+        layout = RunLayout(tmp_path)
+        assert layout.root == tmp_path
+        assert layout.spec == tmp_path / "spec.json"
+        assert layout.merged_stream == tmp_path / "campaign.jsonl"
+        assert layout.hosts_file == tmp_path / "hosts.json"
+        assert layout.stream(2) == tmp_path / "shard2.jsonl"
+        assert layout.heartbeat(2) == tmp_path / "shard2.heartbeat"
+        assert layout.log(2) == tmp_path / "shard2.log"
+        assert layout.assignment(2) == tmp_path / "shard2.tasks.json"
+
+    def test_accepts_string_roots(self):
+        layout = RunLayout("some/run")
+        assert layout.stream(0) == Path("some/run/shard0.jsonl")
+
+
+class TestShardStreams:
+    def test_orders_numerically_not_lexicographically(self, tmp_path):
+        layout = RunLayout(tmp_path)
+        for index in (10, 2, 0, 1):
+            layout.stream(index).write_text("x", encoding="utf-8")
+        assert [path.name for path in layout.shard_streams()] == [
+            "shard0.jsonl",
+            "shard1.jsonl",
+            "shard2.jsonl",
+            "shard10.jsonl",
+        ]
+
+    def test_matches_only_shard_streams(self, tmp_path):
+        layout = RunLayout(tmp_path)
+        layout.stream(0).write_text("x", encoding="utf-8")
+        # Neighbours that must NOT count as shard streams.
+        for name in (
+            "spec.json",
+            "campaign.jsonl",
+            "shard0.tasks.json",
+            "shard0.heartbeat",
+            "shard0.log",
+            "shard0.jsonl.quarantined",
+            f"shard0.jsonl.{12345}.tmp",
+        ):
+            (tmp_path / name).write_text("x", encoding="utf-8")
+        assert [path.name for path in layout.shard_streams()] == [
+            "shard0.jsonl"
+        ]
+
+    def test_empty_dir_yields_nothing(self, tmp_path):
+        assert RunLayout(tmp_path / "missing").shard_streams() == []
+
+
+class TestEnsure:
+    def test_creates_root_with_parents_and_chains(self, tmp_path):
+        root = tmp_path / "a" / "b" / "run"
+        layout = RunLayout(root).ensure()
+        assert root.is_dir()
+        assert layout.root == root
+        # Idempotent.
+        assert RunLayout(root).ensure().root == root

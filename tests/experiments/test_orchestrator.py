@@ -480,3 +480,225 @@ class TestWatch:
     def test_no_streams_refused(self):
         with pytest.raises(StreamError, match="nothing to watch"):
             watch_view([])
+
+
+class TestSpawnLeakFix:
+    """A failed worker launch must not leak the already-open log handle."""
+
+    @pytest.mark.parametrize("scheduler", ["static", "stealing"])
+    def test_launch_failure_closes_log_handle(
+        self, tmp_path, monkeypatch, scheduler
+    ):
+        import builtins
+
+        opened: list = []
+        real_open = builtins.open
+
+        def tracking_open(file, *args, **kwargs):
+            handle = real_open(file, *args, **kwargs)
+            if str(file).endswith(".log"):
+                opened.append(handle)
+            return handle
+
+        def exploding_popen(*args, **kwargs):
+            raise OSError("simulated launch failure")
+
+        monkeypatch.setattr(builtins, "open", tracking_open)
+        monkeypatch.setattr(
+            orchestrator_module.subprocess, "Popen", exploding_popen
+        )
+        with pytest.raises(OSError, match="simulated launch failure"):
+            orchestrate_campaign(
+                SPEC,
+                shards=2,
+                run_dir=tmp_path / "run",
+                poll_interval=0.05,
+                scheduler=scheduler,
+            )
+        assert opened, "the launch path never opened a worker log"
+        assert all(handle.closed for handle in opened)
+
+
+class TestHostsValidation:
+    def test_hosts_and_shards_conflict(self, tmp_path):
+        with pytest.raises(ValueError, match="hosts or shards"):
+            orchestrate_campaign(
+                SPEC, shards=2, run_dir=tmp_path,
+                hosts=[f"store:{tmp_path}/h0"],
+            )
+
+    def test_one_of_hosts_or_shards_required(self, tmp_path):
+        with pytest.raises(ValueError, match="shards is required"):
+            orchestrate_campaign(SPEC, run_dir=tmp_path)
+
+    def test_run_dir_required(self):
+        with pytest.raises(ValueError, match="run_dir"):
+            orchestrate_campaign(SPEC, shards=2)
+
+    def test_per_shard_chaos_conflicts_with_hosts(self, tmp_path):
+        with pytest.raises(ValueError, match="single-machine only"):
+            orchestrate_campaign(
+                SPEC, run_dir=tmp_path,
+                hosts=[f"store:{tmp_path}/h0"], chaos_kill_shard=0,
+            )
+        with pytest.raises(ValueError, match="single-machine only"):
+            orchestrate_campaign(
+                SPEC, run_dir=tmp_path,
+                hosts=[f"store:{tmp_path}/h0"], chaos_slow_shard=0,
+            )
+
+    def test_chaos_kill_host_needs_hosts(self, tmp_path):
+        with pytest.raises(ValueError, match="hosts mode"):
+            orchestrate_campaign(
+                SPEC, shards=2, run_dir=tmp_path, chaos_kill_host=0
+            )
+
+    def test_chaos_kill_host_must_be_a_slot(self, tmp_path):
+        with pytest.raises(ValueError, match="chaos_kill_host"):
+            orchestrate_campaign(
+                SPEC, run_dir=tmp_path,
+                hosts=[f"store:{tmp_path}/h0"], chaos_kill_host=1,
+            )
+
+    def test_duplicate_hosts_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="twice"):
+            orchestrate_campaign(
+                SPEC, run_dir=tmp_path,
+                hosts=[f"store:{tmp_path}/h0", f"store:{tmp_path}/h0"],
+            )
+
+    def test_bad_host_spec_rejected_before_anything_runs(self, tmp_path):
+        with pytest.raises(ValueError, match="host spec"):
+            orchestrate_campaign(SPEC, run_dir=tmp_path / "r", hosts=["@bad"])
+        assert not (tmp_path / "r").exists()
+
+
+class TestHostedOrchestration:
+    """Cross-machine orchestration over ObjectStoreTransport pseudo-hosts.
+
+    A pseudo-host is just a store root whose worker is a local
+    subprocess — the full transport path (spec push, assignment push,
+    stream/heartbeat mirror pull, remote-root worker command) runs
+    exactly as it would against a real fleet, minus the network.
+    """
+
+    def test_two_hosts_match_serial_bit_for_bit(
+        self, tmp_path, serial_reference
+    ):
+        events: list[str] = []
+        outcome = orchestrate_campaign(
+            SPEC,
+            run_dir=tmp_path / "run",
+            hosts=[f"store:{tmp_path}/h0", f"store:{tmp_path}/h1"],
+            poll_interval=0.05,
+            on_event=events.append,
+        )
+        assert outcome.scheduler == "stealing"
+        assert outcome.hosts == (
+            f"store:{tmp_path}/h0", f"store:{tmp_path}/h1",
+        )
+        assert outcome.result.render() == serial_reference.render()
+        assert outcome.result.metrics == serial_reference.metrics
+        # The workers really ran against the store roots, not the
+        # run dir: each host holds its own stream object...
+        from repro.experiments.transport import ObjectStoreTransport
+
+        stored = [
+            ObjectStoreTransport(tmp_path / f"h{index}").list()
+            for index in range(2)
+        ]
+        assert any(f"shard{i}.jsonl" in keys
+                   for i, keys in enumerate(stored))
+        assert all("spec.json" in keys for keys in stored)
+        # ...and the run dir holds the supervisor-side mirrors.
+        assert (tmp_path / "run" / "shard0.jsonl").exists() or (
+            tmp_path / "run" / "shard1.jsonl"
+        ).exists()
+
+    def test_host_killed_at_launch_reclaims_onto_survivor(
+        self, tmp_path, serial_reference
+    ):
+        """chaos_kill_after=0 vanishes the host deterministically at
+        launch: every one of its leases must reclaim onto the
+        survivor and the final aggregate stay byte-identical."""
+        events: list[str] = []
+        outcome = orchestrate_campaign(
+            SPEC,
+            run_dir=tmp_path / "run",
+            hosts=[f"store:{tmp_path}/h0", f"store:{tmp_path}/h1"],
+            poll_interval=0.05,
+            on_event=events.append,
+            chaos_kill_host=0,
+            chaos_kill_after=0,
+        )
+        lost = outcome.shards[0]
+        assert lost.state == "lost"
+        assert lost.requeues == 1
+        assert any("vanished" in event for event in events)
+        assert any("requeuing" in event for event in events)
+        assert any(event.startswith("reclaim: moved") for event in events)
+        assert outcome.result.render() == serial_reference.render()
+        assert outcome.result.metrics == serial_reference.metrics
+
+    def test_elastic_join_gets_leases_mid_campaign(
+        self, tmp_path, serial_reference
+    ):
+        """A host appended to hosts.json mid-run registers a slot and
+        work rebalances onto it through the normal steal path."""
+        run_dir = tmp_path / "run"
+        events: list[str] = []
+        joined = {"done": False}
+
+        def on_event(message: str) -> None:
+            events.append(message)
+            if not joined["done"] and message.startswith("launched shard"):
+                joined["done"] = True
+                (run_dir / "hosts.json").write_text(
+                    json.dumps({"join": [f"store:{tmp_path}/h-late"]}),
+                    encoding="utf-8",
+                )
+
+        outcome = orchestrate_campaign(
+            SPEC,
+            run_dir=run_dir,
+            hosts=[f"store:{tmp_path}/h0"],
+            poll_interval=0.05,
+            lease_batch=1,
+            steal_threshold=1,
+            on_event=on_event,
+        )
+        assert len(outcome.shards) == 2
+        assert outcome.hosts == (
+            f"store:{tmp_path}/h0", f"store:{tmp_path}/h-late",
+        )
+        assert any(
+            event.startswith("join: host") and "registered as shard 1"
+            in event
+            for event in events
+        )
+        late = outcome.shards[1]
+        assert late.attempts >= 1
+        assert late.stolen_to >= 1
+        assert late.recorded >= 1
+        assert outcome.result.render() == serial_reference.render()
+        assert outcome.result.metrics == serial_reference.metrics
+
+    def test_join_of_bad_spec_burns_the_entry_not_the_run(
+        self, tmp_path, serial_reference
+    ):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "hosts.json").write_text(
+            json.dumps({"join": ["@nonsense"]}), encoding="utf-8"
+        )
+        events: list[str] = []
+        outcome = orchestrate_campaign(
+            SPEC,
+            run_dir=run_dir,
+            hosts=[f"store:{tmp_path}/h0"],
+            poll_interval=0.05,
+            on_event=events.append,
+        )
+        assert any(event.startswith("join: bad host spec") for event in events)
+        assert len(outcome.shards) == 1
+        assert outcome.result.metrics == serial_reference.metrics

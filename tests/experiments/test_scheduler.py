@@ -271,3 +271,84 @@ class TestPlanSteals:
         board = board_for(tmp_path, workers=2)
         with pytest.raises(ValueError, match="threshold"):
             plan_steals(board, [0], [1], threshold=0)
+
+
+class TestBoardWriteHook:
+    def test_on_write_fires_for_every_rewrite(self, tmp_path):
+        """The multi-host supervisor pushes assignment files through
+        this hook; missing a rewrite would strand a remote worker on a
+        stale lease set."""
+        calls = []
+        board = LeaseBoard(
+            KEYS,
+            workers=2,
+            run_dir=tmp_path,
+            spec_hash=HASH,
+            batch=1,
+            on_write=lambda worker, path: calls.append((worker, path)),
+        )
+        # Construction writes every worker's file once.
+        assert [worker for worker, _ in calls] == [0, 1]
+        assert calls[0][1] == board.path(0)
+        calls.clear()
+        moved = board.steal(
+            max(range(2), key=lambda w: len(board.stealable(w))),
+            min(range(2), key=lambda w: len(board.stealable(w))),
+            1,
+        )
+        assert moved
+        assert len(calls) == 2  # both sides of a steal rewrite
+        calls.clear()
+        board.close_all()
+        assert [worker for worker, _ in calls] == [0, 1]
+
+    def test_hook_sees_file_already_on_disk(self, tmp_path):
+        """on_write(worker, path) must be called after the atomic
+        replace lands, so a push hook ships the new content."""
+        seen = []
+
+        def hook(worker, path):
+            seen.append(read_assignment(path).version)
+
+        board = LeaseBoard(
+            KEYS, workers=1, run_dir=tmp_path, spec_hash=HASH, on_write=hook
+        )
+        board.close_all()
+        assert seen == [0, 1]
+        assert read_assignment(board.path(0)).closed
+
+
+class TestAddWorker:
+    def test_join_gets_an_empty_open_assignment(self, tmp_path):
+        board = board_for(tmp_path, workers=2)
+        index = board.add_worker()
+        assert index == 2
+        assert board.workers == 3
+        assignment = read_assignment(board.path(2))
+        assert assignment.keys == ()
+        assert not assignment.closed
+        # The joined slot participates in normal leasing.
+        board.lease(2, ["k-join"] if "k-join" in KEYS else [KEYS[0]])
+        assert board.remaining(2) == [KEYS[0]]
+
+    def test_join_after_close_gets_a_closed_assignment(self, tmp_path):
+        """A worker joining a finished campaign must exit immediately,
+        not wait forever on an open empty file."""
+        board = board_for(tmp_path, workers=1)
+        for key in KEYS:
+            board.record_done(key)
+        board.close_all()
+        index = board.add_worker()
+        assert read_assignment(board.path(index)).closed
+
+    def test_join_fires_the_write_hook(self, tmp_path):
+        calls = []
+        board = LeaseBoard(
+            KEYS,
+            workers=1,
+            run_dir=tmp_path,
+            spec_hash=HASH,
+            on_write=lambda worker, path: calls.append(worker),
+        )
+        board.add_worker()
+        assert calls == [0, 1]

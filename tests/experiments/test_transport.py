@@ -1,0 +1,345 @@
+"""Tests for the campaign file transports.
+
+The multi-host supervisor only works if every transport means the same
+thing by ``atomic_write``/``touch``/``mtime``/``exists``/``push``/
+``pull``, so the core here is a *property* suite run against both
+concrete local transports — LocalTransport and ObjectStoreTransport —
+asserting they agree observable-behaviour-for-observable-behaviour,
+including that a torn atomic write never surfaces.  SSH is exercised
+at the argv-builder level (the commands are pure functions of the
+spec), since CI has no remote host to talk to.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+
+import pytest
+
+from repro.experiments.transport import (
+    LocalTransport,
+    ObjectStoreTransport,
+    SSHTransport,
+    Transport,
+    TransportError,
+    parse_host,
+    parse_hosts,
+)
+
+#: The two directory-backed transports that must be interchangeable.
+BACKENDS = ("local", "store")
+
+
+@pytest.fixture
+def make_transport(tmp_path):
+    def build(kind: str) -> Transport:
+        root = tmp_path / f"{kind}-root"
+        if kind == "local":
+            return LocalTransport(root)
+        return ObjectStoreTransport(root)
+
+    return build
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+class TestTransportProperties:
+    """Behaviours LocalTransport and ObjectStoreTransport must share."""
+
+    def test_exists_starts_false_then_tracks_writes(self, make_transport, kind):
+        transport = make_transport(kind)
+        assert not transport.exists("a.txt")
+        transport.atomic_write("a.txt", b"payload")
+        assert transport.exists("a.txt")
+
+    def test_atomic_write_round_trips_bytes(
+        self, make_transport, kind, tmp_path
+    ):
+        transport = make_transport(kind)
+        transport.atomic_write("data.bin", b"\x00\xff binary \n lines \n")
+        target = tmp_path / "out.bin"
+        assert transport.pull("data.bin", target)
+        assert target.read_bytes() == b"\x00\xff binary \n lines \n"
+
+    def test_atomic_write_replaces_whole_content(self, make_transport, kind):
+        transport = make_transport(kind)
+        transport.atomic_write("f", b"first version, quite long")
+        transport.atomic_write("f", b"second")
+        root = transport.root
+        assert (root / "f").read_bytes() == b"second"
+
+    def test_torn_write_leaves_target_untouched(
+        self, make_transport, kind, monkeypatch
+    ):
+        """An atomic_write that dies mid-flight must not damage the file.
+
+        The replace step is forced to fail, simulating a crash between
+        writing the temp file and renaming it over the target: the old
+        content must survive byte-for-byte and no temp litter may be
+        mistaken for the file.
+        """
+        transport = make_transport(kind)
+        transport.atomic_write("f", b"survives")
+        real_replace = os.replace
+
+        def torn(src, dst, *args, **kwargs):
+            raise OSError("simulated crash mid-replace")
+
+        monkeypatch.setattr(os, "replace", torn)
+        with pytest.raises(TransportError):
+            transport.atomic_write("f", b"never lands")
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert (transport.root / "f").read_bytes() == b"survives"
+
+    def test_mtime_none_until_exists_then_fresh(self, make_transport, kind):
+        transport = make_transport(kind)
+        assert transport.mtime("f") is None
+        transport.atomic_write("f", b"x")
+        mtime = transport.mtime("f")
+        assert mtime is not None
+        assert mtime == pytest.approx((transport.root / "f").stat().st_mtime)
+
+    def test_touch_creates_then_freshens(self, make_transport, kind):
+        transport = make_transport(kind)
+        transport.touch("beacon")
+        assert transport.exists("beacon")
+        first = transport.mtime("beacon")
+        os.utime(transport.root / "beacon", (first - 100, first - 100))
+        transport.touch("beacon")
+        assert transport.mtime("beacon") >= first - 1
+
+    def test_touch_does_not_clobber_content(self, make_transport, kind):
+        transport = make_transport(kind)
+        transport.atomic_write("f", b"content")
+        transport.touch("f")
+        assert (transport.root / "f").read_bytes() == b"content"
+
+    def test_push_then_pull_round_trip(self, make_transport, kind, tmp_path):
+        transport = make_transport(kind)
+        source = tmp_path / "src.txt"
+        source.write_bytes(b"shipped")
+        transport.push(source, "dest.txt")
+        assert transport.exists("dest.txt")
+        back = tmp_path / "back.txt"
+        assert transport.pull("dest.txt", back)
+        assert back.read_bytes() == b"shipped"
+
+    def test_pull_missing_returns_false_touches_nothing(
+        self, make_transport, kind, tmp_path
+    ):
+        transport = make_transport(kind)
+        target = tmp_path / "mirror.txt"
+        assert not transport.pull("absent.txt", target)
+        assert not target.exists()
+        # An existing mirror survives a failed pull untouched.
+        target.write_bytes(b"stale but intact")
+        assert not transport.pull("absent.txt", target)
+        assert target.read_bytes() == b"stale but intact"
+
+    def test_pull_preserves_mtime(self, make_transport, kind, tmp_path):
+        """Mirrors must keep the remote timestamp: the supervisor's
+        stall detector reads heartbeat ages off the pulled copy."""
+        transport = make_transport(kind)
+        transport.atomic_write("hb", b"")
+        stamp = transport.mtime("hb") - 1234
+        os.utime(transport.root / "hb", (stamp, stamp))
+        target = tmp_path / "hb-mirror"
+        assert transport.pull("hb", target)
+        assert target.stat().st_mtime == pytest.approx(stamp, abs=2)
+
+    def test_push_missing_source_raises(self, make_transport, kind, tmp_path):
+        transport = make_transport(kind)
+        with pytest.raises(TransportError):
+            transport.push(tmp_path / "nope.txt", "dest.txt")
+
+    def test_open_append_appends(self, make_transport, kind):
+        transport = make_transport(kind)
+        with transport.open_append("s.jsonl") as handle:
+            handle.write(b"line1\n")
+        with transport.open_append("s.jsonl") as handle:
+            handle.write(b"line2\n")
+        assert (transport.root / "s.jsonl").read_bytes() == b"line1\nline2\n"
+
+    @pytest.mark.parametrize("bad", ["/etc/passwd", "../escape", "a/../../b"])
+    def test_rejects_escaping_paths(self, make_transport, kind, bad, tmp_path):
+        transport = make_transport(kind)
+        for operation in (
+            lambda: transport.exists(bad),
+            lambda: transport.atomic_write(bad, b"x"),
+            lambda: transport.touch(bad),
+            lambda: transport.pull(bad, tmp_path / "out"),
+        ):
+            with pytest.raises(TransportError):
+                operation()
+
+    def test_launch_runs_in_its_own_session(self, make_transport, kind, tmp_path):
+        transport = make_transport(kind)
+        log = open(tmp_path / "w.log", "a", encoding="utf-8")
+        try:
+            process = transport.launch(
+                ["/bin/sh", "-c", "sleep 30"], stdout=log, env=None
+            )
+            try:
+                # Session leader of its own group — the orchestrator's
+                # process-group SIGKILL contract depends on it.
+                assert os.getpgid(process.pid) == process.pid
+            finally:
+                process.kill()
+                process.wait(timeout=30)
+        finally:
+            log.close()
+
+    def test_launch_captures_worker_output(self, make_transport, kind, tmp_path):
+        transport = make_transport(kind)
+        with open(tmp_path / "w.log", "a", encoding="utf-8") as log:
+            process = transport.launch(
+                ["/bin/sh", "-c", "echo started"], stdout=log, env=None
+            )
+            assert process.wait(timeout=30) == 0
+        assert "started" in (tmp_path / "w.log").read_text(encoding="utf-8")
+
+
+class TestLocalTransportZeroCopy:
+    def test_same_root_push_pull_are_noops(self, tmp_path):
+        """root == run dir is the single-machine degenerate case: the
+        'remote' file IS the local file, so syncs must not copy."""
+        transport = LocalTransport(tmp_path)
+        target = tmp_path / "shard0.jsonl"
+        target.write_bytes(b"records\n")
+        before = target.stat()
+        transport.push(target, "shard0.jsonl")
+        assert transport.pull("shard0.jsonl", target)
+        after = target.stat()
+        assert after.st_mtime == before.st_mtime
+        assert target.read_bytes() == b"records\n"
+
+    def test_pull_of_missing_same_file_is_false(self, tmp_path):
+        transport = LocalTransport(tmp_path)
+        assert not transport.pull("absent.jsonl", tmp_path / "absent.jsonl")
+
+    def test_describe(self, tmp_path):
+        assert LocalTransport(tmp_path).describe() == f"local:{tmp_path}"
+
+
+class TestObjectStore:
+    def test_put_get_list(self, tmp_path):
+        store = ObjectStoreTransport(tmp_path / "bucket")
+        store.put("a/1.txt", b"one")
+        store.put("a/2.txt", b"two")
+        store.put("b.txt", b"bee")
+        assert store.get("a/1.txt") == b"one"
+        assert store.list() == ["a/1.txt", "a/2.txt", "b.txt"]
+        assert store.list("a/") == ["a/1.txt", "a/2.txt"]
+        assert store.list("nope") == []
+
+    def test_get_missing_raises(self, tmp_path):
+        store = ObjectStoreTransport(tmp_path / "bucket")
+        with pytest.raises(TransportError):
+            store.get("ghost")
+
+    def test_list_of_missing_root_is_empty(self, tmp_path):
+        assert ObjectStoreTransport(tmp_path / "never").list() == []
+
+    def test_describe(self, tmp_path):
+        store = ObjectStoreTransport(tmp_path / "bucket")
+        assert store.describe() == f"store:{tmp_path / 'bucket'}"
+
+
+class TestSSHArgv:
+    """SSH is exercised as pure argv construction — no network in CI."""
+
+    def test_defaults(self):
+        transport = SSHTransport("h1", user="alice")
+        assert transport.describe() == "ssh:alice@h1"
+        assert transport.command_head() == ["python3", "-m", "repro.cli"]
+        assert not transport.runs_locally
+
+    def test_ssh_argv_forces_batch_mode(self):
+        argv = SSHTransport("h1").ssh_argv("true")
+        assert argv[0] == "ssh"
+        assert "BatchMode=yes" in argv
+        assert argv[-2:] == ["h1", "true"]
+
+    def test_pull_argv_preserves_mtime_and_targets_root(self):
+        argv = SSHTransport("h1", root="runs/x", user="bob").scp_pull_argv(
+            "shard0.heartbeat", "/tmp/mirror"
+        )
+        assert argv[0] == "scp"
+        assert "-p" in argv
+        assert "bob@h1:runs/x/shard0.heartbeat" in argv
+        assert argv[-1] == "/tmp/mirror"
+
+    def test_push_argv_is_atomic_on_the_remote_side(self):
+        argv = SSHTransport("h1").scp_push_argv("/tmp/spec.json", "spec.json")
+        remote = argv[-1]
+        # Temp name + mv: a remote reader never sees a torn file.
+        assert "spec.json.tmp" in remote
+        assert "mv" in remote
+
+    def test_worker_argv_quotes_command(self):
+        argv = SSHTransport("h1").worker_argv(
+            ["python3", "-m", "repro.cli", "campaign", "--spec", "a b.json"]
+        )
+        assert argv[-1].endswith("'a b.json'")
+
+    def test_open_append_is_refused(self):
+        with pytest.raises(TransportError):
+            SSHTransport("h1").open_append("shard0.jsonl")
+
+    def test_exists_and_mtime_map_failures_to_absent(self, monkeypatch):
+        transport = SSHTransport("h1")
+
+        def fail(argv, **kwargs):
+            raise TransportError("unreachable")
+
+        monkeypatch.setattr(transport, "_run", fail)
+        assert not transport.exists("f")
+        assert transport.mtime("f") is None
+
+    def test_operations_raise_on_nonzero_exit(self, monkeypatch):
+        transport = SSHTransport("h1")
+
+        def boom(argv, **kwargs):
+            return subprocess.CompletedProcess(
+                argv, returncode=255, stdout=b"", stderr=b"refused"
+            )
+
+        monkeypatch.setattr(subprocess, "run", boom)
+        with pytest.raises(TransportError, match="refused"):
+            transport.touch("f")
+
+
+class TestParseHost:
+    def test_store_spec(self, tmp_path):
+        transport = parse_host(f"store:{tmp_path}/h1")
+        assert isinstance(transport, ObjectStoreTransport)
+        assert str(transport.root) == f"{tmp_path}/h1"
+
+    def test_local_spec(self, tmp_path):
+        transport = parse_host(f"local:{tmp_path}/h1")
+        assert isinstance(transport, LocalTransport)
+
+    def test_ssh_specs(self):
+        plain = parse_host("h1")
+        assert isinstance(plain, SSHTransport)
+        assert plain.target == "h1"
+        assert plain.root == "repro-run"
+        full = parse_host("alice@h2:/data/run")
+        assert full.target == "alice@h2"
+        assert full.root == "/data/run"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "   ", "store:", "local:", "@h1", "alice@", "h 1"]
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_host(bad)
+
+    def test_parse_hosts_refuses_duplicates(self):
+        with pytest.raises(ValueError, match="twice"):
+            parse_hosts(["h1", "h1"])
+
+    def test_parse_hosts_order_preserved(self, tmp_path):
+        transports = parse_hosts([f"store:{tmp_path}/a", "bob@h9"])
+        assert isinstance(transports[0], ObjectStoreTransport)
+        assert isinstance(transports[1], SSHTransport)
