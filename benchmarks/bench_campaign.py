@@ -13,7 +13,10 @@ sweep and writes a machine-readable ``BENCH_campaign.json``:
   worker subprocesses (supervision + merge overhead included);
 - distributed wall time for the same spec over two simulated hosts
   (``ObjectStoreTransport`` roots — the full push/mirror transport
-  path, minus the network).
+  path, minus the network);
+- a profiled cold run (``REPRO_PROFILE_PHASES=1``): measures the
+  phase profiler's overhead against the plain cold run and reports
+  where the probe sweep's time goes, phase by phase.
 
 CI runs this per push and uploads the JSON as an artifact, so the
 engine's overheads become a tracked trajectory instead of anecdotes.
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import tempfile
@@ -37,6 +41,8 @@ from pathlib import Path
 from repro.experiments.campaign import CampaignSpec, run_campaign
 from repro.experiments.orchestrator import orchestrate_campaign
 from repro.experiments.scenarios import Scenario
+from repro.experiments.stream import load_stream
+from repro.telemetry.profile import PHASES, PROFILE_ENV, aggregate_phase_profiles
 
 
 def probe_spec() -> CampaignSpec:
@@ -110,6 +116,33 @@ def run(workers: int, shards: int) -> dict:
             )
         )
 
+        # The same cold sweep with the phase profiler on: its wall time
+        # against cold_s is the measured profiler overhead, and its
+        # stream carries the phase_profile blocks we aggregate below.
+        profiled_stream = workdir / "profiled.jsonl"
+        saved = os.environ.get(PROFILE_ENV)
+        os.environ[PROFILE_ENV] = "1"
+        try:
+            profiled, profiled_s = timed(
+                lambda: run_campaign(
+                    spec, workers=workers, stream_path=profiled_stream
+                )
+            )
+        finally:
+            if saved is None:
+                del os.environ[PROFILE_ENV]
+            else:
+                os.environ[PROFILE_ENV] = saved
+        cells = aggregate_phase_profiles(
+            load_stream(profiled_stream, quarantine=False).records
+        )
+        phase_totals = {
+            phase: round(
+                sum(cell.get(phase, 0.0) for cell in cells.values()), 4
+            )
+            for phase in PHASES
+        }
+
         assert stream_resumed.stream_hits == total
         assert cache_resumed.cache_hits == total
         for other in (
@@ -117,6 +150,7 @@ def run(workers: int, shards: int) -> dict:
             cache_resumed,
             orchestrated.result,
             distributed.result,
+            profiled,
         ):
             assert other.render() == cold.render(), "fixed seed drifted"
 
@@ -134,6 +168,11 @@ def run(workers: int, shards: int) -> dict:
         "cache_resume_s": round(cache_resume_s, 4),
         "orchestrated_wall_s": round(orchestrated_s, 4),
         "distributed_wall_s": round(distributed_s, 4),
+        "profiled_wall_s": round(profiled_s, 4),
+        "profiler_overhead_pct": round(
+            (profiled_s - cold_s) / cold_s * 100, 2
+        ),
+        "phase_totals_s": phase_totals,
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
@@ -171,6 +210,15 @@ def main(argv: list[str] | None = None) -> int:
         f"  distributed   {report['distributed_wall_s']:8.3f} s "
         f"({args.shards} simulated hosts)"
     )
+    print(
+        f"  profiled      {report['profiled_wall_s']:8.3f} s "
+        f"({report['profiler_overhead_pct']:+.1f}% profiler overhead)"
+    )
+    breakdown = ", ".join(
+        f"{phase}={seconds:.3f}s"
+        for phase, seconds in report["phase_totals_s"].items()
+    )
+    print(f"  phases        {breakdown}")
     return 0
 
 

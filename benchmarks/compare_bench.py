@@ -47,6 +47,8 @@ METRICS = (
     ("cache_resume_s", "cache resume (s)", True),
     ("orchestrated_wall_s", "orchestrated wall (s)", True),
     ("distributed_wall_s", "distributed wall (s)", True),
+    ("profiled_wall_s", "profiled wall (s)", True),
+    ("profiler_overhead_pct", "profiler overhead (%)", True),
 )
 
 #: The gating metric: cold-campaign throughput.
@@ -59,6 +61,7 @@ TREND_FIELDS = (
     ("stream_resume_s", "stream-resume (s)"),
     ("orchestrated_wall_s", "orchestrated (s)"),
     ("distributed_wall_s", "distributed (s)"),
+    ("profiled_wall_s", "profiled (s)"),
 )
 
 

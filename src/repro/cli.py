@@ -19,7 +19,10 @@ Subcommands:
   from lagging shards onto idle workers); ``campaign watch`` tails the
   growing streams and re-renders the partial aggregate live;
   ``campaign merge`` unions shard streams; ``campaign aggregate``
-  renders the summary table from a stream alone.
+  renders the summary table from a stream alone; ``campaign status``
+  is a one-shot health report of a run directory (per-shard progress,
+  heartbeat staleness, supervision counts — from files alone);
+  ``campaign events`` prints the run's structured event log.
 - ``list`` — enumerate available experiments and protocols.
 
 Examples::
@@ -42,6 +45,8 @@ Examples::
     repro campaign orchestrate --radii 50,100 \\
         --hosts user@h1,user@h2 --dir RUNDIR
     repro campaign watch --dir RUNDIR
+    repro campaign status RUNDIR
+    repro campaign events RUNDIR --type requeue
     repro campaign --radii 50,100 --stream shard0.jsonl \\
         --shard-index 0 --shard-count 2 --cache-dir CACHE
     repro campaign merge --out merged.jsonl shard0.jsonl shard1.jsonl
@@ -78,9 +83,22 @@ from repro.experiments.protocols import ProtocolConfig
 from repro.experiments.scheduler import (
     AssignmentIdleTimeout,
     SchedulerError,
+    read_assignment,
 )
 from repro.experiments.transport import parse_hosts
-from repro.experiments.stream import StreamError, merge_streams
+from repro.experiments.stream import (
+    StreamError,
+    merge_streams,
+    stream_task_count,
+)
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    HEARTBEAT_EVERY_S,
+    EventLog,
+    filter_events,
+    load_events,
+    render_event,
+)
 from repro.experiments.common import (
     BENCH_EFFORT,
     PAPER_EFFORT,
@@ -201,10 +219,15 @@ def _build_parser() -> argparse.ArgumentParser:
     camp_p = sub.add_parser(
         "campaign",
         help="run a scenario-grid sweep through the campaign engine",
+        # Prefix abbreviation would make `events --shard` ambiguous
+        # against this parser's --shard-index/--shard-count during
+        # argparse's pre-scan, even though --shard belongs to the
+        # subcommand; exact option names only.
+        allow_abbrev=False,
     )
     camp_sub = camp_p.add_subparsers(
         dest="campaign_action",
-        metavar="{orchestrate,watch,merge,aggregate}",
+        metavar="{orchestrate,watch,status,events,merge,aggregate}",
     )
     orch_p = camp_sub.add_parser(
         "orchestrate",
@@ -372,6 +395,63 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render one snapshot and exit (scripting/CI)",
     )
+    watch_p.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="heartbeat age that earns a shard the stall warning marker "
+        "in the health panel (--dir only; default: 600)",
+    )
+    status_p = camp_sub.add_parser(
+        "status",
+        help="one-shot health report of an orchestrated run directory, "
+        "rebuilt from its files alone (works mid-run and after)",
+    )
+    status_p.add_argument("dir", help="orchestrator run directory")
+    status_p.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="heartbeat age that earns a shard the stall warning marker "
+        "(default: 600)",
+    )
+    status_p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON document instead of text",
+    )
+    events_p = camp_sub.add_parser(
+        "events",
+        help="print a run directory's structured event log "
+        "(read-only; never repairs the file)",
+    )
+    events_p.add_argument("dir", help="orchestrator run directory")
+    events_p.add_argument(
+        "--type",
+        default=None,
+        choices=sorted(EVENT_TYPES),
+        help="only events of this type",
+    )
+    events_p.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        help="only events about this shard",
+    )
+    events_p.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="only events from the last SECONDS seconds (wall clock)",
+    )
+    events_p.add_argument(
+        "--json",
+        action="store_true",
+        help="raw JSON records, one per line, instead of rendered text",
+    )
     merge_p = camp_sub.add_parser(
         "merge",
         help="union shard metrics streams (and optionally caches)",
@@ -446,6 +526,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="touch this file at start and after every finished task "
         "(the orchestrator's worker-liveness probe)",
+    )
+    camp_p.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help="append this worker's reasoned heartbeat events (task-done "
+        "vs idle-wait) to this event log; the orchestrator passes the "
+        "run dir's shard<i>.events and merges them at collection",
     )
     camp_p.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress"
@@ -923,6 +1011,250 @@ def _cmd_campaign_orchestrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_indices(layout: RunLayout) -> list[int]:
+    """Every shard slot with any artifact in the run dir.
+
+    Streams alone under-count (a worker killed before its first record
+    has only a heartbeat/log), so the union over every ``shard<i>.*``
+    artifact is what status and the watch health panel iterate.
+    """
+    indices: set[int] = set()
+    for path in layout.root.glob("shard*"):
+        rest = path.name[len("shard"):]
+        digits = rest[: len(rest) - len(rest.lstrip("0123456789"))]
+        if digits:
+            indices.add(int(digits))
+    return sorted(indices)
+
+
+def _heartbeat_age(path: Path, now: float) -> float | None:
+    try:
+        return max(0.0, now - path.stat().st_mtime)
+    except OSError:
+        return None
+
+
+def _heartbeat_text(age: float | None, stall_timeout: float) -> str:
+    if age is None:
+        return "no heartbeat yet"
+    text = f"last beat {age:.0f}s ago"
+    if stall_timeout and age > stall_timeout:
+        text += " ⚠ stalled?"
+    return text
+
+
+def _render_health(
+    layout: RunLayout, stall_timeout: float
+) -> str:
+    """The per-shard liveness panel shared by watch and status."""
+    now = time.time()
+    lines = []
+    for index in _shard_indices(layout):
+        stream = layout.stream(index)
+        recorded = (
+            stream_task_count(stream)
+            if stream.exists() and stream.stat().st_size > 0
+            else 0
+        )
+        age = _heartbeat_age(layout.heartbeat(index), now)
+        lines.append(
+            f"shard {index}: {recorded} task record(s), "
+            f"{_heartbeat_text(age, stall_timeout)}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Health report of a run dir, rebuilt from its files alone."""
+    layout = RunLayout(args.dir)
+    if not layout.root.is_dir():
+        raise ValueError(f"no run directory at {layout.root}")
+    now = time.time()
+    indices = _shard_indices(layout)
+
+    # The event log is optional input (a pre-telemetry run dir, or a
+    # run that has not started): everything stream/heartbeat-derived
+    # still renders without it.
+    events: list[dict] = []
+    origin = None
+    quarantined = 0
+    if layout.events.exists():
+        info = load_events(layout.events, quarantine=False)
+        events, origin, quarantined = (
+            info.records, info.origin, info.quarantined
+        )
+    by_type: dict[str, int] = {}
+    for record in events:
+        by_type[record["type"]] = by_type.get(record["type"], 0) + 1
+    summaries = {
+        record["shard"]: record
+        for record in events
+        if record["type"] == "shard_summary"
+    }
+    hosts_joined = {
+        record["shard"]: record["host"]
+        for record in events
+        if record["type"] == "host_join"
+    }
+    hosts_lost = {
+        record["shard"] for record in events
+        if record["type"] == "host_lost"
+    }
+    finished = by_type.get("run_end", 0) > 0
+
+    streams = [
+        path for path in layout.shard_streams()
+        if path.stat().st_size > 0
+    ]
+    done = total = complete_cells = total_cells = None
+    coverage_note = "no task records yet"
+    if streams:
+        try:
+            view = watch_view(streams)
+            done, total = view.done, view.total
+            complete_cells = view.complete_cells
+            total_cells = view.total_cells
+            coverage_note = (
+                f"{done}/{total} tasks recorded, "
+                f"{complete_cells}/{total_cells} cells complete"
+            )
+        except (StreamError, ValueError) as exc:
+            coverage_note = f"streams unreadable this tick: {exc}"
+
+    shard_rows = []
+    for index in indices:
+        stream = layout.stream(index)
+        recorded = (
+            stream_task_count(stream)
+            if stream.exists() and stream.stat().st_size > 0
+            else 0
+        )
+        age = _heartbeat_age(layout.heartbeat(index), now)
+        summary = summaries.get(index)
+        state = (
+            summary["payload"].get("state")
+            if summary is not None else None
+        )
+        if index in hosts_lost:
+            state = "lost"
+        leases = None
+        closed = None
+        assignment = layout.assignment(index)
+        if assignment.exists():
+            try:
+                lease = read_assignment(assignment)
+                leases, closed = len(lease.keys), lease.closed
+            except SchedulerError:
+                pass
+        counts = {
+            kind: sum(
+                1 for record in events
+                if record["type"] == kind and record["shard"] == index
+            )
+            for kind in ("requeue", "steal", "stall", "chaos")
+        }
+        shard_rows.append(
+            {
+                "shard": index,
+                "host": hosts_joined.get(index),
+                "state": state,
+                "recorded": recorded,
+                "heartbeat_age_s": age,
+                "leases": leases,
+                "assignment_closed": closed,
+                **counts,
+            }
+        )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "run_dir": str(layout.root),
+                    "finished": finished,
+                    "tasks_done": done,
+                    "tasks_total": total,
+                    "cells_complete": complete_cells,
+                    "cells_total": total_cells,
+                    "events": len(events),
+                    "events_origin": origin,
+                    "events_quarantined": quarantined,
+                    "event_counts": by_type,
+                    "shards": shard_rows,
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    print(f"campaign status: {layout.root}")
+    print(f"  {coverage_note}")
+    if events:
+        line = f"  event log: {len(events)} event(s) (origin {origin})"
+        if quarantined:
+            line += f", {quarantined} undecodable line(s) skipped"
+        if finished:
+            line += "; run complete (run_end recorded)"
+        print(line)
+        interesting = (
+            "launch", "exit", "stall", "requeue", "steal", "reclaim",
+            "chaos", "host_join", "host_lost",
+        )
+        counts = ", ".join(
+            f"{kind}={by_type[kind]}"
+            for kind in interesting if by_type.get(kind)
+        )
+        if counts:
+            print(f"  supervision: {counts}")
+    else:
+        print("  event log: none yet")
+    if hosts_joined:
+        live = [
+            host for shard, host in sorted(hosts_joined.items())
+            if shard not in hosts_lost
+        ]
+        print(f"  hosts: {len(live)} live, {len(hosts_lost)} lost")
+    for row in shard_rows:
+        bits = []
+        if row["state"]:
+            bits.append(row["state"])
+        bits.append(f"{row['recorded']} task record(s)")
+        bits.append(
+            _heartbeat_text(row["heartbeat_age_s"], args.stall_timeout)
+        )
+        if row["leases"] is not None:
+            closed = " [closed]" if row["assignment_closed"] else ""
+            bits.append(f"{row['leases']} leased key(s){closed}")
+        for kind in ("requeue", "steal", "stall", "chaos"):
+            if row[kind]:
+                bits.append(f"{row[kind]} {kind}(s)")
+        host = f" ({row['host']})" if row["host"] else ""
+        print(f"  shard {row['shard']}{host}: " + ", ".join(bits))
+    return 0
+
+
+def _cmd_campaign_events(args: argparse.Namespace) -> int:
+    layout = RunLayout(args.dir)
+    # Read-only: a live supervisor may be mid-append on the last line,
+    # so the reader must never trigger quarantine repair.
+    info = load_events(layout.events, quarantine=False)
+    since_wall = (
+        time.time() - args.since if args.since is not None else None
+    )
+    records = filter_events(
+        info.records,
+        type=args.type,
+        shard=args.shard,
+        since_wall=since_wall,
+    )
+    for record in records:
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            print(render_event(record))
+    return 0
+
+
 def _cmd_campaign_watch(args: argparse.Namespace) -> int:
     if bool(args.streams) == bool(args.dir):
         raise ValueError(
@@ -963,6 +1295,15 @@ def _cmd_campaign_watch(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
             continue
         print(render_watch(view), flush=True)
+        if args.dir:
+            # The liveness panel needs the run dir's heartbeat files,
+            # so it only renders in --dir mode (bare stream paths
+            # carry no heartbeat to read).
+            health = _render_health(
+                RunLayout(args.dir), args.stall_timeout
+            )
+            if health:
+                print(health, flush=True)
         if args.once or view.finished:
             return 0
         print(flush=True)
@@ -975,6 +1316,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return _cmd_campaign_orchestrate(args)
     if action == "watch":
         return _cmd_campaign_watch(args)
+    if action == "status":
+        return _cmd_campaign_status(args)
+    if action == "events":
+        return _cmd_campaign_events(args)
     if action == "merge":
         return _cmd_campaign_merge(args)
     if action == "aggregate":
@@ -1033,9 +1378,37 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         heartbeat.parent.mkdir(parents=True, exist_ok=True)
         heartbeat.touch()
 
+    events_log: EventLog | None = None
+    shard_no = args.shard_index
+    if args.events:
+        events_path = Path(args.events)
+        if shard_no is None and events_path.stem.startswith("shard"):
+            # Stealing workers carry no --shard-index; the orchestrator
+            # names their event file shard<i>.events, so the slot index
+            # is recoverable from the path for event identity.
+            digits = events_path.stem[len("shard"):]
+            if digits.isdigit():
+                shard_no = int(digits)
+        events_log = EventLog(events_path, origin=events_path.stem)
+
+    def beat(reason: str) -> None:
+        # The heartbeat *file* is the supervisor's liveness probe; the
+        # event is the durable, reasoned record of the same touch —
+        # task-done vs idle-wait tells a post-mortem whether the worker
+        # was computing or starved for leases.
+        if events_log is not None:
+            events_log.emit_throttled(
+                f"hb:{reason}",
+                HEARTBEAT_EVERY_S,
+                "heartbeat",
+                shard=shard_no,
+                reason=reason,
+            )
+
     def progress(event: TaskProgress) -> None:
         if heartbeat is not None:
             heartbeat.touch()
+        beat("task-done")
         if args.quiet:
             return
         source = event.source or ("cache" if event.cached else "ran")
@@ -1050,18 +1423,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # alive, or the supervisor's stall detector would kill it.
         if heartbeat is not None:
             heartbeat.touch()
+        beat("idle-wait")
 
+    want_callbacks = heartbeat is not None or events_log is not None
     result = run_campaign(
         spec,
         workers=args.workers,
         cache_dir=args.cache_dir,
-        progress=None if args.quiet and heartbeat is None else progress,
+        progress=None if args.quiet and not want_callbacks else progress,
         stream_path=args.stream,
         shard_index=args.shard_index,
         shard_count=args.shard_count,
         tasks_file=args.tasks,
         wait_timeout=wait_timeout if wait_timeout else None,
-        on_wait=on_wait if heartbeat is not None else None,
+        on_wait=on_wait if want_callbacks else None,
     )
     print()
     print(result.render())

@@ -73,6 +73,7 @@ from repro.mobility.registry import MobilityConfig, as_mobility_config
 from repro.mobility.traces import trace_file_digest
 from repro.seeding import replicate_seed, stable_shard
 from repro.sim.stats import SimulationMetrics
+from repro.telemetry.profile import make_profiler
 
 __all__ = [
     "CACHE_FORMAT",
@@ -436,17 +437,20 @@ class TaskProgress:
 
 ProgressCallback = Callable[[TaskProgress], None]
 
-#: ``record(index, task, metrics, cached, wall_time_s)`` — called once
-#: per finished task (the metrics-stream hook); ``index`` is the task's
-#: position in the list handed to :func:`execute_tasks`, so callers can
-#: correlate results with precomputed per-task state (cache keys)
-#: without relying on object identity.
+#: ``record(index, task, metrics, cached, wall_time_s, phase_profile)``
+#: — called once per finished task (the metrics-stream hook); ``index``
+#: is the task's position in the list handed to :func:`execute_tasks`,
+#: so callers can correlate results with precomputed per-task state
+#: (cache keys) without relying on object identity.  ``phase_profile``
+#: is the per-phase seconds dict when ``REPRO_PROFILE_PHASES`` is set,
+#: else ``None`` (cache hits are always ``None`` — nothing ran).
 RecordCallback = Callable[
-    [int, ReplicateTask, SimulationMetrics, bool, float], None
+    [int, ReplicateTask, SimulationMetrics, bool, float, "dict | None"],
+    None,
 ]
 
 
-def _run_task(task: ReplicateTask) -> SimulationMetrics:
+def _run_task(task: ReplicateTask, profiler=None) -> SimulationMetrics:
     """Simulate one task (module-level so it pickles into worker procs)."""
     return run_single(
         task.scenario,
@@ -456,6 +460,7 @@ def _run_task(task: ReplicateTask) -> SimulationMetrics:
         spray_config=task.spray_config,
         buffer_limit=task.buffer_limit,
         protocol_config=task.protocol_config,
+        profiler=profiler,
     )
 
 
@@ -475,18 +480,25 @@ def _chaos_task_sleep() -> float:
         return 0.0
 
 
-def _run_task_timed(task: ReplicateTask) -> tuple[SimulationMetrics, float]:
-    """Simulate one task, returning (metrics, wall seconds).
+def _run_task_timed(
+    task: ReplicateTask,
+) -> tuple[SimulationMetrics, float, dict | None]:
+    """Simulate one task: (metrics, wall seconds, phase profile or None).
 
     Timed inside the worker so the wall time measures the simulation,
-    not pool queueing.
+    not pool queueing.  The phase profiler is created here (per task,
+    from the ``REPRO_PROFILE_PHASES`` environment, which process-pool
+    children inherit) so its snapshot pickles back with the result.
     """
+    profiler = make_profiler()
     start = time.perf_counter()
-    metrics = _run_task(task)
+    metrics = _run_task(task, profiler=profiler)
     delay = _chaos_task_sleep()
     if delay:
         time.sleep(delay)
-    return metrics, time.perf_counter() - start
+    wall = time.perf_counter() - start
+    profile = profiler.snapshot() if profiler.enabled else None
+    return metrics, wall, profile
 
 
 def execute_tasks(
@@ -524,10 +536,11 @@ def execute_tasks(
             )
 
     def finish(index: int, metrics: SimulationMetrics,
-               cached: bool, wall: float) -> None:
+               cached: bool, wall: float,
+               profile: dict | None = None) -> None:
         results[index] = metrics
         if record is not None:
-            record(index, tasks[index], metrics, cached, wall)
+            record(index, tasks[index], metrics, cached, wall, profile)
         tick(index, cached=cached)
 
     pending: list[int] = []
@@ -546,16 +559,16 @@ def execute_tasks(
             }
             for future in as_completed(futures):
                 i = futures[future]
-                metrics, wall = future.result()
+                metrics, wall, profile = future.result()
                 if cache is not None:
                     cache.store(tasks[i], metrics)
-                finish(i, metrics, cached=False, wall=wall)
+                finish(i, metrics, cached=False, wall=wall, profile=profile)
     else:
         for i in pending:
-            metrics, wall = _run_task_timed(tasks[i])
+            metrics, wall, profile = _run_task_timed(tasks[i])
             if cache is not None:
                 cache.store(tasks[i], metrics)
-            finish(i, metrics, cached=False, wall=wall)
+            finish(i, metrics, cached=False, wall=wall, profile=profile)
 
     return [r for r in results if r is not None]
 
@@ -1020,7 +1033,8 @@ def run_campaign(
 
         def record(index: int, task: ReplicateTask,
                    metrics: SimulationMetrics,
-                   cached: bool, wall: float) -> None:
+                   cached: bool, wall: float,
+                   profile: dict | None = None) -> None:
             append_record(
                 stream_path,
                 make_task_record(
@@ -1034,6 +1048,7 @@ def run_campaign(
                     metrics_json=metrics.to_json(),
                     cached=cached,
                     wall_time_s=wall,
+                    phase_profile=profile,
                 ),
             )
 
@@ -1213,7 +1228,8 @@ def _run_tasks_campaign(
 
         def record(index: int, task: ReplicateTask,
                    metrics: SimulationMetrics,
-                   cached: bool, wall: float) -> None:
+                   cached: bool, wall: float,
+                   profile: dict | None = None) -> None:
             append_record(
                 stream_path,
                 make_task_record(
@@ -1225,6 +1241,7 @@ def _run_tasks_campaign(
                     metrics_json=metrics.to_json(),
                     cached=cached,
                     wall_time_s=wall,
+                    phase_profile=profile,
                 ),
             )
 

@@ -79,6 +79,21 @@ class RunLayout:
         """Shard ``shard``'s scheduler assignment (lease) file."""
         return f"shard{shard}.tasks.json"
 
+    @staticmethod
+    def events_name() -> str:
+        """The supervisor's (and, after merge, the run's) event log."""
+        return "events.jsonl"
+
+    @staticmethod
+    def shard_events_name(shard: int) -> str:
+        """Shard ``shard``'s worker-side event log.
+
+        Deliberately **not** ``.jsonl`` — it must never match
+        :data:`STREAM_GLOB`, or the merge would try to union events
+        into the metric stream.
+        """
+        return f"shard{shard}.events"
+
     #: Glob matching every shard stream (and nothing else) in a run dir.
     STREAM_GLOB = "shard*.jsonl"
 
@@ -107,6 +122,13 @@ class RunLayout:
 
     def assignment(self, shard: int) -> Path:
         return self.root / self.assignment_name(shard)
+
+    @property
+    def events(self) -> Path:
+        return self.root / self.events_name()
+
+    def shard_events(self, shard: int) -> Path:
+        return self.root / self.shard_events_name(shard)
 
     def shard_streams(self) -> list[Path]:
         """Every existing shard stream under the root, in shard order.

@@ -126,6 +126,11 @@ from repro.experiments.stream import (
     union_records,
 )
 from repro.seeding import shard_sizes
+from repro.telemetry.events import (
+    HEARTBEAT_EVERY_S,
+    EventLog,
+    merge_events,
+)
 
 __all__ = [
     "OrchestratorError",
@@ -141,6 +146,63 @@ __all__ = [
 #: death, requeue, completion, merge).  The CLI prints these; tests and
 #: CI grep them.
 EventCallback = Callable[[str], None]
+
+
+class _EventSink:
+    """Fans supervision events to the live callback and the event log.
+
+    Calling the sink with a bare string is the legacy path — a
+    human-readable line for the ``on_event`` callback only (progress
+    ticks, informational notes).  :meth:`emit` is the durable path: the
+    same human line goes to the callback *and* a typed record goes to
+    the run dir's ``events.jsonl``, so a finished run can be audited
+    from files alone.  The human strings are frozen interface — tests
+    and CI grep them — which is why the sink carries them unchanged
+    instead of re-deriving them from the typed payloads.
+    """
+
+    def __init__(
+        self, on_event: EventCallback | None, log: EventLog | None
+    ) -> None:
+        self._on_event = on_event
+        self.log = log
+
+    def __call__(self, message: str) -> None:
+        if self._on_event is not None:
+            self._on_event(message)
+
+    def emit(
+        self,
+        type: str,
+        message: str | None = None,
+        *,
+        shard: int | None = None,
+        host: str | None = None,
+        attempt: int | None = None,
+        **payload: object,
+    ) -> None:
+        if message is not None and self._on_event is not None:
+            self._on_event(message)
+        if self.log is not None:
+            self.log.emit(
+                type,
+                shard=shard,
+                host=host or None,
+                attempt=attempt,
+                msg=message,
+                **payload,
+            )
+
+    def heartbeat(self, shard: int, reason: str) -> None:
+        """A throttled liveness-touch record with its reason."""
+        if self.log is not None:
+            self.log.emit_throttled(
+                f"hb:{shard}:{reason}",
+                HEARTBEAT_EVERY_S,
+                "heartbeat",
+                shard=shard,
+                reason=reason,
+            )
 
 
 class OrchestratorError(RuntimeError):
@@ -258,6 +320,11 @@ def _worker_command(
         str(status.stream),
         "--heartbeat",
         str(status.heartbeat),
+        "--events",
+        str(
+            status.stream.parent
+            / RunLayout.shard_events_name(status.index)
+        ),
         "--workers",
         str(workers_per_shard),
         "--quiet",
@@ -294,6 +361,8 @@ def _host_worker_command(
         str(remote.stream(index)),
         "--heartbeat",
         str(remote.heartbeat(index)),
+        "--events",
+        str(remote.shard_events(index)),
         "--workers",
         str(workers_per_shard),
         "--quiet",
@@ -554,11 +623,10 @@ def orchestrate_campaign(
     if chaos_slow_shard is not None and chaos_slow_s <= 0:
         raise ValueError("chaos_slow_s must be positive")
 
-    def event(message: str) -> None:
-        if on_event is not None:
-            on_event(message)
-
     layout = RunLayout(run_dir).ensure()
+    event = _EventSink(
+        on_event, EventLog(layout.events, origin="supervisor").ensure()
+    )
     run_path = layout.root
     spec_hash = campaign_spec_hash(spec)
     spec_file = layout.spec
@@ -576,6 +644,17 @@ def orchestrate_campaign(
     ]
     sizes = shard_sizes(keys, shards)
     total_tasks = len(keys)
+    event.emit(
+        "run_start",
+        shards=shards,
+        scheduler=scheduler,
+        total_tasks=total_tasks,
+        hosts=(
+            [transport.describe() for transport in transports.values()]
+            if transports is not None
+            else []
+        ),
+    )
 
     statuses = [
         ShardStatus(
@@ -668,10 +747,15 @@ def orchestrate_campaign(
         running.append(
             _Worker(status, process, handle, time.monotonic())
         )
-        event(
+        event.emit(
+            "launch",
             f"launched shard {status.index} attempt {status.attempts} "
             f"(pid {process.pid}, "
-            f"{status.expected_tasks - status.recorded} task(s) to run)"
+            f"{status.expected_tasks - status.recorded} task(s) to run)",
+            shard=status.index,
+            attempt=status.attempts,
+            pid=process.pid,
+            to_run=status.expected_tasks - status.recorded,
         )
         if (
             chaos_pending
@@ -684,9 +768,14 @@ def orchestrate_campaign(
             # mid-run variant below races the worker's own completion.
             process.kill()
             chaos_pending = False
-            event(
+            event.emit(
+                "chaos",
                 f"chaos: SIGKILL shard {status.index} worker "
-                f"(pid {process.pid}) at launch"
+                f"(pid {process.pid}) at launch",
+                shard=status.index,
+                attempt=status.attempts,
+                action="kill",
+                fired=True,
             )
 
     def abort(status: ShardStatus, why: str) -> None:
@@ -718,10 +807,15 @@ def orchestrate_campaign(
                 ):
                     worker.kill()
                     chaos_pending = False
-                    event(
+                    event.emit(
+                        "chaos",
                         f"chaos: SIGKILL shard {status.index} worker "
                         f"(pid {worker.process.pid}) after "
-                        f"{status.recorded} recorded task(s)"
+                        f"{status.recorded} recorded task(s)",
+                        shard=status.index,
+                        attempt=status.attempts,
+                        action="kill",
+                        fired=True,
                     )
                     return_code = worker.process.poll()
                 if return_code is None:
@@ -732,10 +826,14 @@ def orchestrate_campaign(
                     except OSError:
                         heartbeat_age = time.monotonic() - worker.launched_at
                     if heartbeat_age > stall_timeout:
-                        event(
+                        event.emit(
+                            "stall",
                             f"shard {status.index} stalled (no heartbeat "
                             f"for {heartbeat_age:.0f}s); killing worker "
-                            f"pid {worker.process.pid}"
+                            f"pid {worker.process.pid}",
+                            shard=status.index,
+                            attempt=status.attempts,
+                            heartbeat_age_s=round(heartbeat_age, 3),
                         )
                         worker.kill()
                         return_code = worker.process.poll()
@@ -751,9 +849,14 @@ def orchestrate_campaign(
                     # chaos test that never killed anything proves
                     # nothing, and CI asserts on these event lines.
                     chaos_pending = False
-                    event(
+                    event.emit(
+                        "chaos",
                         f"chaos: shard {status.index} worker finished "
-                        f"before the injection could fire; nothing killed"
+                        f"before the injection could fire; nothing killed",
+                        shard=status.index,
+                        attempt=status.attempts,
+                        action="kill",
+                        fired=False,
                     )
                 running.remove(worker)
                 worker.close_log()
@@ -764,10 +867,16 @@ def orchestrate_campaign(
                     and status.recorded >= status.expected_tasks
                 ):
                     status.state = "done"
-                    event(
+                    event.emit(
+                        "exit",
                         f"shard {status.index} done "
                         f"({status.recorded}/{status.expected_tasks} "
-                        f"tasks)"
+                        f"tasks)",
+                        shard=status.index,
+                        attempt=status.attempts,
+                        exit_code=return_code,
+                        outcome="done",
+                        recorded=status.recorded,
                     )
                     continue
                 if status.attempts >= max_attempts:
@@ -786,10 +895,16 @@ def orchestrate_campaign(
                     if return_code != 0
                     else "worker exited with an incomplete stream"
                 )
-                event(
+                event.emit(
+                    "requeue",
                     f"shard {status.index} {cause} with "
                     f"{status.recorded}/{status.expected_tasks} task(s) "
-                    f"recorded; requeuing {remaining} remaining task(s)"
+                    f"recorded; requeuing {remaining} remaining task(s)",
+                    shard=status.index,
+                    attempt=status.attempts,
+                    exit_code=return_code,
+                    recorded=status.recorded,
+                    remaining=remaining,
                 )
             progress = sum(status.recorded for status in statuses)
             if progress != last_progress:
@@ -811,7 +926,7 @@ def orchestrate_campaign(
 
 
 def _emit_shard_summaries(
-    statuses: Sequence[ShardStatus], event: EventCallback
+    statuses: Sequence[ShardStatus], event: "_EventSink"
 ) -> None:
     """One final per-shard accounting line each, before the merge.
 
@@ -826,10 +941,19 @@ def _emit_shard_summaries(
                 f", {status.stolen_from} lease(s) stolen away, "
                 f"{status.stolen_to} stolen in"
             )
-        event(
+        event.emit(
+            "shard_summary",
             f"summary: shard {status.index}: {status.attempts} "
             f"attempt(s), {status.requeues} requeue(s){steals}, "
-            f"{status.recorded} task record(s) in stream"
+            f"{status.recorded} task record(s) in stream",
+            shard=status.index,
+            host=status.host,
+            attempt=status.attempts or None,
+            requeues=status.requeues,
+            stolen_from=status.stolen_from,
+            stolen_to=status.stolen_to,
+            recorded=status.recorded,
+            state=status.state,
         )
 
 
@@ -838,7 +962,7 @@ def _collect(
     streams: Sequence[Path],
     total_tasks: int,
     statuses: list[ShardStatus],
-    event: EventCallback,
+    event: "_EventSink",
     scheduler: str,
     hosts: Sequence[str] = (),
 ) -> OrchestratorResult:
@@ -852,9 +976,27 @@ def _collect(
             f"{total_tasks}; shard streams are incomplete or damaged "
             f"({info.quarantined} undecodable line(s) skipped)"
         )
-    event(
+    event.emit(
+        "run_end",
         f"merged {len(streams)} shard stream(s) -> {merged} "
-        f"({len(info.records)} task records)"
+        f"({len(info.records)} task records)",
+        outcome="complete",
+        streams=len(streams),
+        records=len(info.records),
+        requeues=sum(status.requeues for status in statuses),
+        steals=sum(status.stolen_from for status in statuses),
+    )
+    # Fold every worker-side event file into the supervisor's log so a
+    # finished run dir holds one mergeable history.  Line-level dedup in
+    # merge_events makes this idempotent across resumes, and worker
+    # files may simply not exist (a worker killed before its first
+    # emit), so only the supervisor log is required.
+    shard_event_files = [
+        layout.shard_events(status.index) for status in statuses
+    ]
+    merge_events(
+        layout.events,
+        [layout.events, *shard_event_files],
     )
     return OrchestratorResult(
         result=campaign_result_from_stream(merged),
@@ -884,7 +1026,7 @@ def _orchestrate_stealing(
     stall_timeout: float,
     max_attempts: int,
     max_concurrent: int,
-    event: EventCallback,
+    event: "_EventSink",
     lease_batch: int | None,
     steal_threshold: int,
     chaos_kill_shard: int | None,
@@ -948,9 +1090,13 @@ def _orchestrate_stealing(
     if hosts_mode:
         for index, transport in sorted(transports.items()):
             transport.push(spec_file, RunLayout.spec_name())
-            event(
+            event.emit(
+                "host_join",
                 f"host {transport.describe()}: registered as shard "
-                f"{index}"
+                f"{index}",
+                shard=index,
+                host=transport.describe(),
+                joined_mid_run=False,
             )
             # Resume support: mirror whatever stream the host already
             # holds before the board is built, so its records count as
@@ -1037,11 +1183,17 @@ def _orchestrate_stealing(
         status.state = "lost"
         status.requeues += 1
         lost.add(status.index)
-        event(
+        event.emit(
+            "host_lost",
             f"host {status.host or status.index} (shard {status.index}) "
             f"vanished ({why}); requeuing its "
             f"{len(board.remaining(status.index))} remaining lease(s) "
-            f"for reclaim by live workers"
+            f"for reclaim by live workers",
+            shard=status.index,
+            host=status.host,
+            attempt=status.attempts or None,
+            why=why,
+            remaining=len(board.remaining(status.index)),
         )
 
     def poll_joins() -> None:
@@ -1106,9 +1258,13 @@ def _orchestrate_stealing(
             statuses.append(status)
             tailers[index] = StreamTailKeys(status.stream)
             queue.append(status)
-            event(
+            event.emit(
+                "host_join",
                 f"join: host {transport.describe()} registered as shard "
-                f"{index}; leases will rebalance onto it"
+                f"{index}; leases will rebalance onto it",
+                shard=index,
+                host=transport.describe(),
+                joined_mid_run=True,
             )
 
     def launch(status: ShardStatus) -> None:
@@ -1141,11 +1297,17 @@ def _orchestrate_stealing(
         )
         running.append(_Worker(status, process, handle, time.monotonic()))
         host_note = f" on {status.host}" if status.host else ""
-        event(
+        event.emit(
+            "launch",
             f"launched shard {status.index} attempt {status.attempts} "
             f"(pid {process.pid}, "
             f"{len(board.remaining(status.index))} leased task(s))"
-            f"{host_note}"
+            f"{host_note}",
+            shard=status.index,
+            host=status.host,
+            attempt=status.attempts,
+            pid=process.pid,
+            leased=len(board.remaining(status.index)),
         )
         if (
             chaos_pending
@@ -1155,9 +1317,14 @@ def _orchestrate_stealing(
         ):
             process.kill()
             chaos_pending = False
-            event(
+            event.emit(
+                "chaos",
                 f"chaos: SIGKILL shard {status.index} worker "
-                f"(pid {process.pid}) at launch"
+                f"(pid {process.pid}) at launch",
+                shard=status.index,
+                attempt=status.attempts,
+                action="kill",
+                fired=True,
             )
         if (
             chaos_host_pending
@@ -1166,9 +1333,15 @@ def _orchestrate_stealing(
             and chaos_kill_after <= len(seen[status.index])
         ):
             chaos_host_pending = False
-            event(
+            event.emit(
+                "chaos",
                 f"chaos: SIGKILL shard {status.index} worker "
-                f"(pid {process.pid}) at launch; its host vanishes"
+                f"(pid {process.pid}) at launch; its host vanishes",
+                shard=status.index,
+                host=status.host,
+                attempt=status.attempts,
+                action="kill_host",
+                fired=True,
             )
             declare_lost(status, "chaos host kill")
 
@@ -1227,6 +1400,7 @@ def _orchestrate_stealing(
                         transport.touch(
                             RunLayout.assignment_name(status.index)
                         )
+                        event.heartbeat(status.index, "supervisor-beacon")
                         transport.pull(
                             RunLayout.stream_name(status.index),
                             status.stream,
@@ -1234,6 +1408,13 @@ def _orchestrate_stealing(
                         transport.pull(
                             RunLayout.heartbeat_name(status.index),
                             status.heartbeat,
+                        )
+                        # Mirror the worker's own event file so the
+                        # endgame merge sees every host's history (pull
+                        # is a no-op until the worker first emits).
+                        transport.pull(
+                            RunLayout.shard_events_name(status.index),
+                            layout.shard_events(status.index),
                         )
                         failures[status.index] = 0
                     except TransportError as exc:
@@ -1252,6 +1433,7 @@ def _orchestrate_stealing(
                 for status in statuses:
                     try:
                         os.utime(board.path(status.index))
+                        event.heartbeat(status.index, "supervisor-beacon")
                     except OSError:  # pragma: no cover - replaced mid-utime
                         pass
             for status in statuses:
@@ -1267,11 +1449,17 @@ def _orchestrate_stealing(
                     and return_code is None
                 ):
                     chaos_host_pending = False
-                    event(
+                    event.emit(
+                        "chaos",
                         f"chaos: SIGKILL shard {status.index} worker "
                         f"(pid {worker.process.pid}) after "
                         f"{status.recorded} recorded task(s); its host "
-                        f"vanishes"
+                        f"vanishes",
+                        shard=status.index,
+                        host=status.host,
+                        attempt=status.attempts,
+                        action="kill_host",
+                        fired=True,
                     )
                     declare_lost(status, "chaos host kill")
                     continue
@@ -1284,10 +1472,15 @@ def _orchestrate_stealing(
                 ):
                     worker.kill()
                     chaos_pending = False
-                    event(
+                    event.emit(
+                        "chaos",
                         f"chaos: SIGKILL shard {status.index} worker "
                         f"(pid {worker.process.pid}) after "
-                        f"{status.recorded} recorded task(s)"
+                        f"{status.recorded} recorded task(s)",
+                        shard=status.index,
+                        attempt=status.attempts,
+                        action="kill",
+                        fired=True,
                     )
                     return_code = worker.process.poll()
                 if return_code is None:
@@ -1298,10 +1491,15 @@ def _orchestrate_stealing(
                     except OSError:
                         heartbeat_age = time.monotonic() - worker.launched_at
                     if heartbeat_age > stall_timeout:
-                        event(
+                        event.emit(
+                            "stall",
                             f"shard {status.index} stalled (no heartbeat "
                             f"for {heartbeat_age:.0f}s); killing worker "
-                            f"pid {worker.process.pid}"
+                            f"pid {worker.process.pid}",
+                            shard=status.index,
+                            host=status.host,
+                            attempt=status.attempts,
+                            heartbeat_age_s=round(heartbeat_age, 3),
                         )
                         worker.kill()
                         return_code = worker.process.poll()
@@ -1313,9 +1511,14 @@ def _orchestrate_stealing(
                     and status.attempts == 1
                 ):
                     chaos_pending = False
-                    event(
+                    event.emit(
+                        "chaos",
                         f"chaos: shard {status.index} worker finished "
-                        f"before the injection could fire; nothing killed"
+                        f"before the injection could fire; nothing killed",
+                        shard=status.index,
+                        attempt=status.attempts,
+                        action="kill",
+                        fired=False,
                     )
                 if (
                     chaos_host_pending
@@ -1323,9 +1526,15 @@ def _orchestrate_stealing(
                     and status.attempts == 1
                 ):
                     chaos_host_pending = False
-                    event(
+                    event.emit(
+                        "chaos",
                         f"chaos: shard {status.index} worker finished "
-                        f"before the injection could fire; nothing killed"
+                        f"before the injection could fire; nothing killed",
+                        shard=status.index,
+                        host=status.host,
+                        attempt=status.attempts,
+                        action="kill_host",
+                        fired=False,
                     )
                 running.remove(worker)
                 worker.close_log()
@@ -1337,9 +1546,16 @@ def _orchestrate_stealing(
                     # steal race, in another worker's stream): done,
                     # whatever the exit code says.
                     status.state = "done"
-                    event(
+                    event.emit(
+                        "exit",
                         f"shard {status.index} done "
-                        f"({status.recorded} task record(s) in stream)"
+                        f"({status.recorded} task record(s) in stream)",
+                        shard=status.index,
+                        host=status.host,
+                        attempt=status.attempts,
+                        exit_code=return_code,
+                        outcome="done",
+                        recorded=status.recorded,
                     )
                     continue
                 if status.attempts >= max_attempts:
@@ -1356,10 +1572,17 @@ def _orchestrate_stealing(
                     if return_code != 0
                     else "worker exited with unrecorded leases"
                 )
-                event(
+                event.emit(
+                    "requeue",
                     f"shard {status.index} {cause}; requeuing the slot — "
                     f"its {len(remaining)} remaining lease(s) stay "
-                    f"stealable meanwhile"
+                    f"stealable meanwhile",
+                    shard=status.index,
+                    host=status.host,
+                    attempt=status.attempts,
+                    exit_code=return_code,
+                    recorded=status.recorded,
+                    remaining=len(remaining),
                 )
             if not closed:
                 alive = {
@@ -1403,12 +1626,18 @@ def _orchestrate_stealing(
                         slot_kind = (
                             "lost" if status.state == "lost" else "queued"
                         )
-                        event(
+                        event.emit(
+                            "reclaim",
                             f"reclaim: moved all {len(reclaimed)} "
                             f"lease(s) from {slot_kind} shard "
                             f"{status.index} ({slot_why}) to "
                             f"idle shard(s) "
-                            f"{', '.join(str(t) for t in idle)}"
+                            f"{', '.join(str(t) for t in idle)}",
+                            shard=status.index,
+                            host=status.host,
+                            moved=len(reclaimed),
+                            slot_kind=slot_kind,
+                            to=list(idle),
                         )
                     idle = [
                         index for index in sorted(alive)
@@ -1426,11 +1655,16 @@ def _orchestrate_stealing(
                         continue
                     statuses[victim].stolen_from += len(moved)
                     statuses[thief].stolen_to += len(moved)
-                    event(
+                    event.emit(
+                        "steal",
                         f"steal: moved {len(moved)} unstarted lease(s) "
                         f"from lagging shard {victim} to idle shard "
                         f"{thief} ({len(board.remaining(victim))} "
-                        f"remain with {victim})"
+                        f"remain with {victim})",
+                        shard=victim,
+                        moved=len(moved),
+                        to=thief,
+                        victim_remaining=len(board.remaining(victim)),
                     )
             progress = len(board.done)
             if progress != last_progress:

@@ -152,8 +152,13 @@ def build_world(
     spray_config: SprayAndWaitConfig | None = None,
     buffer_limit: int | None = None,
     protocol_config: ProtocolConfig | None = None,
+    profiler=None,
 ) -> World:
-    """Assemble a world for ``scenario`` running ``protocol`` everywhere."""
+    """Assemble a world for ``scenario`` running ``protocol`` everywhere.
+
+    ``profiler`` (a :class:`repro.telemetry.profile.PhaseProfiler`)
+    threads into every subsystem hook; ``None`` means the shared no-op.
+    """
     node_ids = list(range(scenario.n_nodes))
     mobility = _build_scenario_mobility(scenario, node_ids)
     world_config = WorldConfig(
@@ -172,7 +177,7 @@ def build_world(
         buffer_limit,
         protocol_config=protocol_config,
     )
-    world = World(mobility, factory, world_config)
+    world = World(mobility, factory, world_config, profiler=profiler)
     for spec in generate_workload(scenario):
         world.schedule_message(
             spec.source,
@@ -191,6 +196,7 @@ def run_single(
     spray_config: SprayAndWaitConfig | None = None,
     buffer_limit: int | None = None,
     protocol_config: ProtocolConfig | None = None,
+    profiler=None,
 ) -> SimulationMetrics:
     """Run one simulation to the scenario horizon."""
     world = build_world(
@@ -201,6 +207,7 @@ def run_single(
         spray_config=spray_config,
         buffer_limit=buffer_limit,
         protocol_config=protocol_config,
+        profiler=profiler,
     )
     return world.run(until=scenario.sim_time, protocol_name=protocol)
 

@@ -101,9 +101,18 @@ def make_task_record(
     metrics_json: dict,
     cached: bool,
     wall_time_s: float,
+    phase_profile: dict | None = None,
 ) -> dict:
-    """One task's stream record."""
-    return {
+    """One task's stream record.
+
+    ``phase_profile`` (per-phase seconds from the opt-in telemetry
+    profiler) is provenance, like ``wall_time_s``/``cached``: it rides
+    beside the metrics payload, never inside it, so profiler-on streams
+    stay metric-identical to profiler-off ones.  The key is simply
+    absent when profiling is off — readers tolerate extra fields
+    (:data:`_TASK_FIELDS` is a subset check), so no format bump.
+    """
+    record = {
         "kind": "task",
         "key": key,
         "scenario": scenario,
@@ -114,6 +123,9 @@ def make_task_record(
         "wall_time_s": wall_time_s,
         "metrics": metrics_json,
     }
+    if phase_profile is not None:
+        record["phase_profile"] = phase_profile
+    return record
 
 
 def init_stream(

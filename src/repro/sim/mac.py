@@ -39,6 +39,7 @@ from repro.graphs.udg import NodeId
 from repro.sim.engine import Simulator
 from repro.sim.messages import Frame, FrameKind
 from repro.sim.radio import RadioConfig
+from repro.telemetry.profile import NULL_PROFILER, PHASE_MAC
 
 
 @dataclass(frozen=True)
@@ -212,6 +213,7 @@ class NodeMac:
         deliver: Callable[[Frame], None],
         rng: random.Random,
         stats: Optional[MacStats] = None,
+        profiler=NULL_PROFILER,
     ):
         self._sim = sim
         self._medium = medium
@@ -222,6 +224,7 @@ class NodeMac:
         self._deliver = deliver
         self._rng = rng
         self.stats = stats if stats is not None else MacStats()
+        self._profiler = profiler
         self._queue: deque[Frame] = deque()
         self._busy = False
 
@@ -260,6 +263,7 @@ class NodeMac:
         self._attempt(frame, attempt=1)
 
     def _attempt(self, frame: Frame, attempt: int) -> None:
+        t_prof = self._profiler.start()
         now = self._sim.now
         my_pos = self._position_fn(self.node_id, now)
         sensed = self._medium.contention_at(my_pos, exclude=self.node_id)
@@ -280,10 +284,16 @@ class NodeMac:
         self._sim.schedule_at(
             end, lambda: self._complete(frame, attempt, start, end)
         )
+        self._profiler.add(PHASE_MAC, t_prof)
 
     def _complete(
         self, frame: Frame, attempt: int, start: float, end: float
     ) -> None:
+        # Profiling brackets close before _retry_or_drop/_deliver: the
+        # retry's _attempt and the protocol's frame handling charge
+        # their own phases, so MAC time here is just the completion
+        # checks themselves.
+        t_prof = self._profiler.start()
         now = self._sim.now
         my_pos = self._position_fn(self.node_id, now)
         try:
@@ -294,6 +304,7 @@ class NodeMac:
         if peer_pos is None or not self._radio.in_range(my_pos, peer_pos):
             # Link broke during backoff + airtime (node moved away).
             self.stats.frames_lost_range += 1
+            self._profiler.add(PHASE_MAC, t_prof)
             self._retry_or_drop(frame, attempt)
             return
 
@@ -303,10 +314,12 @@ class NodeMac:
         p_survive = (1.0 - self._config.collision_probability) ** interferers
         if self._rng.random() > p_survive:
             self.stats.frames_lost_collision += 1
+            self._profiler.add(PHASE_MAC, t_prof)
             self._retry_or_drop(frame, attempt)
             return
 
         self.stats.frames_delivered += 1
+        self._profiler.add(PHASE_MAC, t_prof)
         self._deliver(frame)
         self._start_next()
 

@@ -40,6 +40,11 @@ from repro.graphs.udg import NodeId, SpatialGraph, unit_disk_graph
 from repro.mobility.base import MobilityModel
 from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.radio import RadioConfig
+from repro.telemetry.profile import (
+    NULL_PROFILER,
+    PHASE_MOBILITY,
+    PHASE_UDG,
+)
 
 #: Approximate bytes of one beacon (IMEP header + location + id).
 BEACON_BYTES = 32
@@ -64,6 +69,7 @@ class NeighborService:
         beacon_interval: float = 1.0,
         ldt_k: int = 2,
         on_control_bytes: Callable[[int], None] | None = None,
+        profiler=NULL_PROFILER,
     ):
         if beacon_interval <= 0:
             raise ValueError("beacon interval must be positive")
@@ -73,6 +79,7 @@ class NeighborService:
         self.beacon_interval = beacon_interval
         self.ldt_k = ldt_k
         self._on_control_bytes = on_control_bytes
+        self._profiler = profiler
 
         self.epoch = 0
         self._snapshot: SpatialGraph = SpatialGraph()
@@ -98,7 +105,10 @@ class NeighborService:
 
     def _rebuild(self) -> None:
         now = self._sim.now
+        t0 = self._profiler.start()
         positions = self._mobility.positions(now)
+        self._profiler.add(PHASE_MOBILITY, t0)
+        t0 = self._profiler.start()
         self._snapshot = unit_disk_graph(positions, self._radio.range_m)
         self._ldt_cache = None
         # Location diffusion leg 1: beacon exchange between neighbours.
@@ -113,6 +123,7 @@ class NeighborService:
             self._location_tables[node][node] = record
         if self._on_control_bytes is not None:
             self._on_control_bytes(beacons * BEACON_BYTES)
+        self._profiler.add(PHASE_UDG, t0)
 
     # ------------------------------------------------------------------
     # Queries (all answer from the latest beacon snapshot)
@@ -149,12 +160,16 @@ class NeighborService:
         k-local construction on consistent beacon data.
         """
         if self._ldt_cache is None:
+            # Charged to the UDG/graph-rebuild phase: the LDTG is the
+            # other per-epoch graph construction over the same snapshot.
+            t0 = self._profiler.start()
             self._ldt_cache = local_delaunay_graph(
                 self._snapshot.positions,
                 self._radio.range_m,
                 k=self.ldt_k,
                 udg=self._snapshot,
             )
+            self._profiler.add(PHASE_UDG, t0)
         return set(self._ldt_cache.neighbors(node))
 
     def ldt_graph(self) -> SpatialGraph:

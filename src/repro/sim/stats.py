@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.graphs.udg import NodeId
 from repro.sim.messages import Message
+from repro.telemetry.profile import NULL_PROFILER, PHASE_DELIVERY
 
 
 @dataclass
@@ -99,12 +100,13 @@ class SimulationMetrics:
 class MetricsCollector:
     """Accumulates observations during a run and snapshots them after."""
 
-    def __init__(self) -> None:
+    def __init__(self, profiler=NULL_PROFILER) -> None:
         self._created: dict[int, Message] = {}
         self._delivered: dict[int, tuple[float, int]] = {}
         self.control_bytes = 0
         self._storage_peaks: dict[NodeId, int] = {}
         self._storage_time_avg: dict[NodeId, float] = {}
+        self._profiler = profiler
 
     # -- message lifecycle --------------------------------------------
 
@@ -114,16 +116,20 @@ class MetricsCollector:
 
     def on_delivered(self, message: Message, now: float, hops: int) -> None:
         """Record a delivery; only the first arrival of a message counts."""
-        if message.uid in self._delivered:
-            return
-        if message.uid not in self._created:
-            raise ValueError(
-                f"delivery recorded for unknown message uid {message.uid}"
-            )
-        latency = now - message.created_at
-        if latency < 0:
-            raise ValueError("delivery before creation — clock error")
-        self._delivered[message.uid] = (latency, hops)
+        t0 = self._profiler.start()
+        try:
+            if message.uid in self._delivered:
+                return
+            if message.uid not in self._created:
+                raise ValueError(
+                    f"delivery recorded for unknown message uid {message.uid}"
+                )
+            latency = now - message.created_at
+            if latency < 0:
+                raise ValueError("delivery before creation — clock error")
+            self._delivered[message.uid] = (latency, hops)
+        finally:
+            self._profiler.add(PHASE_DELIVERY, t0)
 
     def is_delivered(self, uid: int) -> bool:
         """True when the message has already reached its destination."""

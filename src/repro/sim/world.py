@@ -26,6 +26,11 @@ from repro.sim.neighbors import LocationRecord, NeighborService
 from repro.sim.radio import RadioConfig
 from repro.seeding import derive_rng
 from repro.sim.stats import MetricsCollector, SimulationMetrics
+from repro.telemetry.profile import (
+    NULL_PROFILER,
+    PHASE_DELIVERY,
+    PHASE_PROTOCOL,
+)
 
 
 @dataclass(frozen=True)
@@ -227,11 +232,13 @@ class World:
         mobility: MobilityModel,
         protocol_factory: Callable[[NodeId], Protocol],
         config: WorldConfig | None = None,
+        profiler=None,
     ):
         self.config = config if config is not None else WorldConfig()
         self.mobility = mobility
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.sim = Simulator()
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(profiler=self.profiler)
         self.medium = Medium(self.sim, self.config.radio)
         self.neighbor_service = NeighborService(
             self.sim,
@@ -240,6 +247,7 @@ class World:
             beacon_interval=self.config.beacon_interval,
             ldt_k=self.config.ldt_k,
             on_control_bytes=self.metrics.on_control_bytes,
+            profiler=self.profiler,
         )
 
         self.protocols: dict[NodeId, Protocol] = {}
@@ -265,6 +273,7 @@ class World:
                 deliver=self._dispatch,
                 rng=derive_rng(self.config.seed, repr(node), "mac"),
                 stats=stats,
+                profiler=self.profiler,
             )
             self._message_seq[node] = 0
 
@@ -280,12 +289,16 @@ class World:
         protocol = self.protocols.get(frame.receiver)
         if protocol is None:
             raise KeyError(f"frame addressed to unknown node {frame.receiver!r}")
+        t0 = self.profiler.start()
         protocol.on_frame(frame)
+        self.profiler.add(PHASE_PROTOCOL, t0)
 
     def _sample_storage(self) -> None:
         now = self.sim.now
+        t0 = self.profiler.start()
         for protocol in self.protocols.values():
             protocol.sample_storage(now)
+        self.profiler.add(PHASE_DELIVERY, t0)
 
     # ------------------------------------------------------------------
 
@@ -307,7 +320,9 @@ class World:
                 size_bytes=size_bytes,
             )
             self.metrics.on_created(message)
+            t0 = self.profiler.start()
             self.protocols[source].on_message_created(message)
+            self.profiler.add(PHASE_PROTOCOL, t0)
 
         self.sim.schedule_at(at_time, create)
 
@@ -319,6 +334,7 @@ class World:
             self._started = True
         self.sim.run(until=until)
 
+        t0 = self.profiler.start()
         for node, protocol in self.protocols.items():
             protocol.sample_storage(self.sim.now)
             self.metrics.record_storage(
@@ -344,9 +360,11 @@ class World:
         if name is None:
             first = next(iter(self.protocols.values()), None)
             name = first.name if first is not None else "none"
-        return self.metrics.snapshot(
+        metrics = self.metrics.snapshot(
             protocol=name,
             duration=self.sim.now,
             mac_totals=totals,
             events_processed=self.sim.events_processed,
         )
+        self.profiler.add(PHASE_DELIVERY, t0)
+        return metrics

@@ -76,16 +76,17 @@ def fingerprint(metrics):
 def stream_essence(path):
     """A stream's lines with per-run provenance stripped.
 
-    ``wall_time_s`` (timing) and ``cached`` (where the result came
-    from) legitimately differ between two executions of the same
-    campaign; everything else — header, keys, seeds, metrics, order —
-    must not.
+    ``wall_time_s`` (timing), ``cached`` (where the result came from),
+    and ``phase_profile`` (opt-in wall-time attribution) legitimately
+    differ between two executions of the same campaign; everything
+    else — header, keys, seeds, metrics, order — must not.
     """
     essence = []
     for line in path.read_text().splitlines():
         record = json.loads(line)
         record.pop("wall_time_s", None)
         record.pop("cached", None)
+        record.pop("phase_profile", None)
         essence.append(json.dumps(record, sort_keys=True))
     return essence
 
@@ -313,6 +314,50 @@ class TestStealingSchedulerEquivalence:
         assert stolen.steals >= 1
         assert cell_fingerprints(stolen.result) == cell_fingerprints(serial)
         assert stolen.result.render() == serial.render()
+
+    def test_profiled_run_bit_identical_modulo_profile(
+        self, v2_spec, tmp_path, monkeypatch
+    ):
+        """``REPRO_PROFILE_PHASES=1`` adds a ``phase_profile`` block to
+        every task record and changes nothing else: metrics, keys,
+        seeds, and order are bit-identical to the unprofiled run."""
+        from repro.telemetry.profile import PHASES
+
+        serial = self._reference(v2_spec, tmp_path)
+        monkeypatch.setenv("REPRO_PROFILE_PHASES", "1")
+        profiled = orchestrate_campaign(
+            v2_spec,
+            shards=2,
+            workers_per_shard=2,
+            run_dir=tmp_path / "profiled",
+            poll_interval=0.05,
+            scheduler="stealing",
+            steal_threshold=1,
+            lease_batch=1,
+        )
+        assert cell_fingerprints(profiled.result) == cell_fingerprints(
+            serial
+        )
+        assert profiled.result.render() == serial.render()
+        # Same records as the unprofiled hand-sharded reference, up to
+        # provenance (stream_essence strips phase_profile).
+        assert stream_essence(profiled.merged_stream) == stream_essence(
+            tmp_path / "hand.jsonl"
+        )
+        records = [
+            json.loads(line)
+            for line in
+            profiled.merged_stream.read_text().splitlines()[1:]
+        ]
+        assert records and all(
+            set(record["phase_profile"]) == set(PHASES)
+            for record in records
+        )
+        assert all(
+            value >= 0.0
+            for record in records
+            for value in record["phase_profile"].values()
+        )
 
     def test_balanced_run_with_high_threshold_never_steals(
         self, v2_spec, tmp_path
@@ -736,4 +781,31 @@ class TestHostedEquivalence:
         assert hosted.result.render() == serial.render()
         assert stream_essence(hosted.merged_stream) == stream_essence(
             tmp_path / "hand.jsonl"
+        )
+
+    def test_profiled_hosted_run_bit_identical_modulo_profile(
+        self, v2_spec, tmp_path, monkeypatch
+    ):
+        """Profiling composes with distribution: hosted workers inherit
+        ``REPRO_PROFILE_PHASES`` and their merged stream still matches
+        the unprofiled reference up to the phase_profile blocks."""
+        serial = self._serial(v2_spec, tmp_path)
+        monkeypatch.setenv("REPRO_PROFILE_PHASES", "1")
+        hosted = orchestrate_campaign(
+            v2_spec,
+            run_dir=tmp_path / "profhost",
+            hosts=[f"store:{tmp_path}/p0", f"store:{tmp_path}/p1"],
+            workers_per_shard=2,
+            poll_interval=0.05,
+        )
+        assert cell_fingerprints(hosted.result) == cell_fingerprints(serial)
+        assert stream_essence(hosted.merged_stream) == stream_essence(
+            tmp_path / "hand.jsonl"
+        )
+        records = [
+            json.loads(line)
+            for line in hosted.merged_stream.read_text().splitlines()[1:]
+        ]
+        assert records and all(
+            "phase_profile" in record for record in records
         )

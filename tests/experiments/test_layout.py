@@ -22,6 +22,8 @@ class TestFrozenNames:
         assert RunLayout.heartbeat_name(3) == "shard3.heartbeat"
         assert RunLayout.log_name(7) == "shard7.log"
         assert RunLayout.assignment_name(12) == "shard12.tasks.json"
+        assert RunLayout.events_name() == "events.jsonl"
+        assert RunLayout.shard_events_name(4) == "shard4.events"
         assert RunLayout.STREAM_GLOB == "shard*.jsonl"
 
     def test_paths_resolve_names_under_the_root(self, tmp_path):
@@ -34,6 +36,8 @@ class TestFrozenNames:
         assert layout.heartbeat(2) == tmp_path / "shard2.heartbeat"
         assert layout.log(2) == tmp_path / "shard2.log"
         assert layout.assignment(2) == tmp_path / "shard2.tasks.json"
+        assert layout.events == tmp_path / "events.jsonl"
+        assert layout.shard_events(2) == tmp_path / "shard2.events"
 
     def test_accepts_string_roots(self):
         layout = RunLayout("some/run")
@@ -64,6 +68,8 @@ class TestShardStreams:
             "shard0.log",
             "shard0.jsonl.quarantined",
             f"shard0.jsonl.{12345}.tmp",
+            "events.jsonl",
+            "shard0.events",
         ):
             (tmp_path / name).write_text("x", encoding="utf-8")
         assert [path.name for path in layout.shard_streams()] == [
