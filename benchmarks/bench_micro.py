@@ -69,6 +69,74 @@ def test_unit_disk_rebuild_vs_naive_double_discovery(benchmark):
     assert deduped.edges() == naive_double_discovery(positions, 100.0).edges()
 
 
+def _paper_density_mobility(n=800, seed=11):
+    """An RWP population at the paper's node density, scaled up to n.
+
+    The paper's Table 1 places 50 nodes on 1500 m x 300 m; scaling both
+    region sides by sqrt(n/50) keeps nodes-per-square-metre fixed, so
+    the per-tick edge work grows the way a larger paper scenario would.
+    """
+    import math
+
+    scale = math.sqrt(n / 50)
+    region = Region(1500.0 * scale, 300.0 * scale)
+    return RandomWaypointMobility(list(range(n)), region, seed=seed)
+
+
+def test_reference_rebuild_paper_density(benchmark):
+    """Beacon rebuild (mobility + UDG) on the pure-Python engine.
+
+    800 nodes at paper density, 100 m range — the reference half of the
+    engine comparison; ``test_vectorized_rebuild_paper_density`` times
+    the identical work on the numpy core.  Each call advances the clock
+    one beacon interval, as the simulator does.
+    """
+    mobility = _paper_density_mobility()
+    clock = {"t": 0.0}
+
+    def rebuild():
+        clock["t"] += 1.0
+        graph = unit_disk_graph(mobility.positions(clock["t"]), 100.0)
+        return graph.edge_count()
+
+    assert benchmark(rebuild) > 0
+
+
+def test_vectorized_rebuild_paper_density(benchmark):
+    """Beacon rebuild (batch mobility + array UDG) on the numpy engine.
+
+    The vectorized counterpart of
+    ``test_reference_rebuild_paper_density``: same population, same
+    radius, same advancing clock.  The ratio between the two is the
+    engine speedup; ``bench_campaign.py`` gates it at paper density.
+    """
+    from repro.sim.arraystate import ArrayState
+
+    mobility = _paper_density_mobility()
+    clock = {"t": 0.0}
+
+    def rebuild():
+        clock["t"] += 1.0
+        state = ArrayState.from_mobility(mobility, clock["t"])
+        return state.unit_disk_snapshot(100.0).edge_count()
+
+    assert benchmark(rebuild) > 0
+
+
+def test_engines_rebuild_identical_graphs():
+    """The two rebuild benchmarks above time *the same* computation."""
+    from repro.sim.arraystate import ArrayState
+
+    reference_mobility = _paper_density_mobility(n=200)
+    vectorized_mobility = _paper_density_mobility(n=200)
+    for t in (1.0, 2.0, 3.0):
+        reference = unit_disk_graph(reference_mobility.positions(t), 100.0)
+        state = ArrayState.from_mobility(vectorized_mobility, t)
+        snapshot = state.unit_disk_snapshot(100.0)
+        assert snapshot.positions == reference.positions
+        assert snapshot.edges() == reference.edges()
+
+
 def test_ldtg_50_nodes(benchmark):
     positions = {i: p for i, p in enumerate(_points(50, 3))}
     graph = benchmark(local_delaunay_graph, positions, 200.0, 2)

@@ -106,6 +106,7 @@ from repro.experiments.common import (
     Effort,
 )
 from repro.experiments.runner import available_protocols, run_single
+from repro.sim.arraystate import VectorizedEngineUnavailableError
 from repro.experiments.scenarios import Scenario
 from repro.experiments.suites import (
     available_suites,
@@ -193,6 +194,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--nodes", type=int, default=50)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--storage-limit", type=int, default=None)
+    run_p.add_argument(
+        "--engine",
+        default=None,
+        choices=("reference", "vectorized"),
+        help="simulation core (default: the REPRO_ENGINE environment "
+        "variable, else reference); results are bit-identical",
+    )
 
     exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -613,6 +621,13 @@ def _add_campaign_shape_args(parser: argparse.ArgumentParser) -> None:
         "axes is applied to every --mobility model; names/values are "
         "validated against the registry before anything runs)",
     )
+    parser.add_argument(
+        "--engines",
+        default=None,
+        help="comma-separated simulation-engine grid "
+        "(reference,vectorized); engines are bit-identical, so this "
+        "axis is a cross-check/benchmark sweep",
+    )
     parser.add_argument("--messages", type=int, default=None)
     parser.add_argument("--sim-time", type=float, default=None)
     parser.add_argument("--storage-limit", type=int, default=None)
@@ -633,6 +648,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         message_count=args.messages,
         sim_time=args.sim_time,
         seed=args.seed,
+        engine=args.engine,
     )
     metrics = run_single(
         scenario, args.protocol, buffer_limit=args.storage_limit
@@ -781,6 +797,7 @@ def _reject_conflicting_shape_flags(
             ("--mobility", args.mobility),
             ("--protocol-param", args.protocol_param),
             ("--mobility-param", args.mobility_param),
+            ("--engines", args.engines),
             ("--messages", args.messages),
             ("--sim-time", args.sim_time),
             ("--storage-limit", args.storage_limit),
@@ -874,6 +891,8 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
             "--mobility-param needs --mobility to name the model(s) it "
             "parameterises"
         )
+    if args.engines:
+        grid.append(("engine", _csv(args.engines, str)))
     return CampaignSpec(
         name=name,
         base=Scenario(name=name, **overrides),
@@ -1502,6 +1521,12 @@ def main(argv: list[str] | None = None) -> int:
         # supervisor (or operator) pointed it at the wrong campaign.
         print(f"scheduler error: {exc}", file=sys.stderr)
         return 3
+    except VectorizedEngineUnavailableError as exc:
+        # The vectorized engine was selected (flag, grid, or
+        # REPRO_ENGINE) but numpy is missing: a setup problem the
+        # message tells the user how to fix, not a crash.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (ValueError, OSError) as exc:
         # Bad user input (unknown protocol, malformed spec/grid, missing
         # file); json.JSONDecodeError is a ValueError subclass.

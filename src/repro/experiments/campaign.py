@@ -239,6 +239,15 @@ def _canonical_scenario(task: ReplicateTask, content_hash: bool) -> dict:
     """
     scenario = _canonical(task.scenario)
     scenario.pop("name", None)
+    # Engines are bit-identical, so an unset engine (= whatever
+    # REPRO_ENGINE picks at run time) keys exactly like it did before
+    # the field existed — pre-existing caches stay valid, and results
+    # computed under either env default are interchangeable.  An
+    # *explicit* engine stays in the key: pinning it is a deliberate
+    # part of the task's identity (e.g. an --engines cross-check grid
+    # must not collapse to one cell).
+    if scenario.get("engine") is None:
+        scenario.pop("engine", None)
     if content_hash and _is_trace_mobility(task.scenario):
         params = dict(scenario["mobility"]["params"])
         path = params.pop("path", None)
@@ -279,6 +288,9 @@ def legacy_task_payload(task: ReplicateTask) -> dict | None:
     if task.protocol_config is not None:
         return None
     if _is_trace_mobility(task.scenario):
+        return None
+    if task.scenario.engine is not None:
+        # Explicit engine pins postdate v2 keys; nothing to migrate.
         return None
     return {
         "format": _LEGACY_CACHE_FORMAT,
@@ -752,6 +764,11 @@ class CampaignSpec:
         base.pop("mobility")
         if self.base.mobility is not None:
             base["mobility"] = self.base.mobility.to_json()
+        # Unset engine is omitted (like unset mobility) so spec hashes
+        # — and therefore existing stream headers — are unchanged from
+        # before the field existed.
+        if base.get("engine") is None:
+            base.pop("engine", None)
         return {
             "name": self.name,
             "base": base,

@@ -1,0 +1,165 @@
+"""Array-backed simulation state and engine selection.
+
+The vectorized engine keeps per-beacon node positions as one
+``(N, 2)`` float64 array instead of ``N`` :class:`Point` objects, and
+rebuilds the unit-disk graph with the numpy cell-binning kernel in
+:mod:`repro.graphs.udg`.  This module owns that array state and the
+switch that picks the engine:
+
+- ``reference`` — the original pure-Python path (per-node position
+  queries, :class:`~repro.graphs.udg.GridIndex` pair iteration).  It is
+  the semantic ground truth the differential tests compare against.
+- ``vectorized`` — batch mobility evaluation plus the array UDG kernel.
+  Requires numpy; selecting it without numpy installed raises
+  :class:`VectorizedEngineUnavailableError` with install guidance.
+
+Selection precedence: an explicit engine (``Scenario.engine``,
+``WorldConfig.engine``) wins; otherwise the ``REPRO_ENGINE``
+environment variable; otherwise ``reference``.  The env var is
+inherited by process-pool and shard workers, so one variable flips a
+whole campaign.
+
+Both engines produce **bit-identical** results: mobility models draw
+from per-node RNGs (so batch leg extension preserves draw order), and
+the batch interpolation/distance kernels evaluate the exact same
+float64 expressions the scalar path does (IEEE 754 elementwise ops are
+deterministic), which the equivalence suite pins on the paper probes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+from repro.geometry.primitives import Point
+from repro.graphs.udg import NodeId, SpatialGraph, unit_disk_graph_from_array
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mobility.base import MobilityModel
+
+#: Environment variable naming the default engine for new worlds.
+ENGINE_ENV = "REPRO_ENGINE"
+
+ENGINE_REFERENCE = "reference"
+ENGINE_VECTORIZED = "vectorized"
+
+#: Every selectable engine, reference first (the default).
+ENGINES = (ENGINE_REFERENCE, ENGINE_VECTORIZED)
+
+
+class VectorizedEngineUnavailableError(RuntimeError):
+    """The vectorized engine was selected but numpy is not importable."""
+
+
+_NUMPY_UNSET = object()
+_numpy_cache: object = _NUMPY_UNSET
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when it cannot be imported.
+
+    The import result is cached; tests monkeypatch ``_numpy_cache`` to
+    ``None`` to exercise the numpy-missing error path without
+    uninstalling anything.
+    """
+    global _numpy_cache
+    if _numpy_cache is _NUMPY_UNSET:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - numpy ships in CI
+            numpy = None
+        _numpy_cache = numpy
+    return _numpy_cache
+
+
+def require_numpy():
+    """Numpy module for the vectorized engine, or a clear error."""
+    module = numpy_or_none()
+    if module is None:
+        raise VectorizedEngineUnavailableError(
+            "the 'vectorized' engine requires numpy, which is not "
+            "installed; install it (pip install numpy, or the "
+            "repro-glr[fast] extra) or select the 'reference' engine "
+            f"(unset {ENGINE_ENV} / engine=reference)"
+        )
+    return module
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve the effective engine name.
+
+    ``engine`` (when not ``None``) wins over the :data:`ENGINE_ENV`
+    environment variable, which wins over the ``reference`` default.
+    Unknown names raise :class:`ValueError`; resolving to
+    ``vectorized`` without numpy raises
+    :class:`VectorizedEngineUnavailableError`.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "") or ENGINE_REFERENCE
+    engine = engine.strip().lower()
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {engine!r}; choose one of "
+            + ", ".join(ENGINES)
+        )
+    if engine == ENGINE_VECTORIZED:
+        require_numpy()
+    return engine
+
+
+class ArrayState:
+    """One beacon epoch's node positions as a ``(N, 2)`` float64 array.
+
+    ``ids[i]`` owns row ``i`` of ``positions``; the array is marked
+    read-only so views handed to stats/analysis code cannot corrupt the
+    epoch snapshot.
+    """
+
+    __slots__ = ("ids", "positions", "_index")
+
+    def __init__(self, ids: Sequence[NodeId], positions) -> None:
+        np = require_numpy()
+        array = np.asarray(positions, dtype=np.float64)
+        if array.ndim != 2 or array.shape[1] != 2:
+            raise ValueError(
+                f"positions must have shape (N, 2), got {array.shape}"
+            )
+        if array.shape[0] != len(ids):
+            raise ValueError(
+                f"{len(ids)} ids but {array.shape[0]} position rows"
+            )
+        array.setflags(write=False)
+        self.ids: tuple[NodeId, ...] = tuple(ids)
+        self.positions = array
+        self._index: dict[NodeId, int] | None = None
+
+    @classmethod
+    def from_mobility(cls, mobility: "MobilityModel", t: float) -> "ArrayState":
+        """Batch-evaluate ``mobility`` at time ``t`` into array state."""
+        return cls(mobility.node_ids, mobility.positions_array(t))
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def index_of(self, node: NodeId) -> int:
+        """Row index of ``node`` (lazily built id -> row map)."""
+        if self._index is None:
+            self._index = {node: i for i, node in enumerate(self.ids)}
+        return self._index[node]
+
+    def point(self, node: NodeId) -> Point:
+        """``node``'s position as a :class:`Point`."""
+        row = self.positions[self.index_of(node)]
+        return Point(float(row[0]), float(row[1]))
+
+    def as_points(self) -> dict[NodeId, Point]:
+        """Dict view (node -> Point) matching the reference layout."""
+        rows = self.positions.tolist()
+        return {
+            node: Point(row[0], row[1])
+            for node, row in zip(self.ids, rows)
+        }
+
+    def unit_disk_snapshot(self, radius: float) -> SpatialGraph:
+        """The UDG over this state via the vectorized cell-bin kernel."""
+        return unit_disk_graph_from_array(self.ids, self.positions, radius)

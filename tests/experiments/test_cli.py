@@ -246,6 +246,67 @@ class TestMobilityCli:
         assert main(["campaign", "--mobility", "teleport"]) == 2
         assert "unknown mobility model" in capsys.readouterr().err
 
+    def test_campaign_engine_grid(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--name",
+                "cli-engines",
+                "--engines",
+                "reference,vectorized",
+                "--node-counts",
+                "10",
+                "--protocols",
+                "glr",
+                "--replicates",
+                "1",
+                "--messages",
+                "2",
+                "--sim-time",
+                "15",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 simulations" in out
+        assert "engine=reference" in out
+        assert "engine=vectorized" in out
+
+    def test_campaign_unknown_engine_exits_2(self, capsys):
+        assert main(["campaign", "--engines", "warp"]) == 2
+        assert "engine" in capsys.readouterr().err
+
+    def test_run_engine_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocol",
+                "glr",
+                "--engine",
+                "vectorized",
+                "--messages",
+                "3",
+                "--sim-time",
+                "20",
+            ]
+        )
+        assert code == 0
+        assert "delivery ratio" in capsys.readouterr().out
+
+    def test_run_vectorized_without_numpy_exits_2(self, capsys, monkeypatch):
+        from repro.sim import arraystate
+
+        monkeypatch.setattr(arraystate, "_numpy_cache", None)
+        code = main(
+            ["run", "--protocol", "glr", "--engine", "vectorized", "--messages", "2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "numpy" in err
+        assert "reference" in err
+
     def test_campaign_suite(self, capsys, monkeypatch):
         from repro.experiments.common import Effort
         from repro.cli import EFFORTS

@@ -809,3 +809,125 @@ class TestHostedEquivalence:
         assert records and all(
             "phase_profile" in record for record in records
         )
+
+
+class TestVectorizedEquivalence:
+    """Engine choice must be invisible in results.
+
+    The vectorized numpy core and the pure-Python reference core are
+    two implementations of the same simulation: every probe scenario,
+    every execution surface (serial, campaign grid, stealing
+    orchestration), profiled or not, must produce **bit-identical**
+    metrics.  These tests compose the engine switch with the other
+    equivalence surfaces above."""
+
+    @pytest.mark.parametrize(
+        "scenario,protocol", PROBES,
+        ids=[s.name for s, _ in PROBES],
+    )
+    def test_probes_bit_identical_across_engines(self, scenario, protocol):
+        reference = run_single(scenario.but(engine="reference"), protocol)
+        vectorized = run_single(scenario.but(engine="vectorized"), protocol)
+        assert fingerprint(vectorized) == fingerprint(reference)
+
+    def test_large_population_probe_bit_identical(self):
+        """A population above the kernel's dense-path cutoff (64): the
+        cell-binning path must also be bit-identical end to end."""
+        scenario = TINY.but(
+            name="probe-binned", n_nodes=80, active_nodes=10, radius=120.0
+        )
+        reference = run_single(scenario.but(engine="reference"), "glr")
+        vectorized = run_single(scenario.but(engine="vectorized"), "glr")
+        assert fingerprint(vectorized) == fingerprint(reference)
+
+    def test_env_variable_selection_is_equivalent(self, monkeypatch):
+        scenario, protocol = PROBES[0]
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        reference = run_single(scenario, protocol)
+        monkeypatch.setenv("REPRO_ENGINE", "vectorized")
+        flipped = run_single(scenario, protocol)
+        assert fingerprint(flipped) == fingerprint(reference)
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_profiler_composes_with_engines(self, engine):
+        """Profiling must neither change metrics nor lose phases on
+        either engine: the vectorized mobility/UDG phases are timed by
+        the same hooks the reference engine uses."""
+        from repro.telemetry.profile import (
+            PHASE_MOBILITY,
+            PHASE_UDG,
+            PhaseProfiler,
+        )
+
+        scenario, protocol = PROBES[0]
+        bare = run_single(scenario.but(engine=engine), protocol)
+        profiler = PhaseProfiler()
+        profiled = run_single(
+            scenario.but(engine=engine), protocol, profiler=profiler
+        )
+        assert fingerprint(profiled) == fingerprint(bare)
+        snapshot = profiler.snapshot()
+        assert snapshot[PHASE_MOBILITY] > 0.0
+        assert snapshot[PHASE_UDG] > 0.0
+
+    def test_engine_grid_axis_produces_identical_cells(self, tmp_path):
+        """The ``--engines`` sweep axis: both cells of an engine grid
+        hold the same metrics, proving the axis is a cross-check knob
+        rather than a modelling one."""
+        spec = CampaignSpec(
+            name="engine-sweep",
+            base=TINY,
+            grid=(("engine", ("reference", "vectorized")),),
+            protocols=("glr",),
+            replicates=2,
+        )
+        result = run_campaign(spec, stream_path=tmp_path / "s.jsonl")
+        cells = cell_fingerprints(result)
+        assert len(cells) == 2
+        first, second = cells.values()
+        assert first == second
+
+    def test_stealing_orchestrated_vectorized_run_equals_reference(
+        self, v2_spec, tmp_path, monkeypatch
+    ):
+        """The full composition: a REPRO_ENGINE=vectorized, profiled,
+        work-stealing orchestrated campaign (worker subprocesses
+        inherit both env vars) merges to the reference-engine serial
+        aggregate bit for bit."""
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        serial = run_campaign(
+            v2_spec, workers=1, stream_path=tmp_path / "serial.jsonl"
+        )
+        monkeypatch.setenv("REPRO_ENGINE", "vectorized")
+        monkeypatch.setenv("REPRO_PROFILE_PHASES", "1")
+        stolen = orchestrate_campaign(
+            v2_spec,
+            shards=2,
+            workers_per_shard=2,
+            run_dir=tmp_path / "vectorized",
+            poll_interval=0.05,
+            scheduler="stealing",
+            steal_threshold=1,
+            lease_batch=1,
+        )
+        assert cell_fingerprints(stolen.result) == cell_fingerprints(serial)
+        assert stolen.result.render() == serial.render()
+
+    def test_explicit_engine_changes_cache_key_default_does_not(
+        self, tmp_path
+    ):
+        """Engine=None tasks keep their pre-engine cache identity (the
+        field is popped from canonical payloads), while pinned engines
+        key separately — a vectorized result can never shadow a
+        reference-keyed entry or vice versa."""
+        default = ReplicateTask(TINY, "glr", 0)
+        pinned_ref = ReplicateTask(TINY.but(engine="reference"), "glr", 0)
+        pinned_vec = ReplicateTask(TINY.but(engine="vectorized"), "glr", 0)
+        assert task_key(default) != task_key(pinned_ref)
+        assert task_key(pinned_ref) != task_key(pinned_vec)
+        # Engines are bit-identical, so a cache primed by a vectorized
+        # run serves the same metrics a reference run would compute.
+        cache = ResultCache(tmp_path / "cache")
+        [vec_metrics] = execute_tasks([pinned_vec], cache=cache)
+        [ref_metrics] = execute_tasks([pinned_ref], cache=cache)
+        assert fingerprint(vec_metrics) == fingerprint(ref_metrics)

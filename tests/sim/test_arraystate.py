@@ -1,0 +1,193 @@
+"""Engine selection, array state, and the numpy-missing error path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import Scenario
+from repro.geometry.primitives import Point
+from repro.mobility.base import Region
+from repro.mobility.static import StaticMobility
+from repro.sim import arraystate
+from repro.sim.arraystate import (
+    ENGINE_ENV,
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    ENGINES,
+    ArrayState,
+    VectorizedEngineUnavailableError,
+    resolve_engine,
+)
+from repro.sim.world import WorldConfig
+
+
+class TestResolveEngine:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert resolve_engine() == ENGINE_REFERENCE
+        assert resolve_engine(None) == ENGINE_REFERENCE
+
+    def test_env_variable_selects_engine(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "vectorized")
+        assert resolve_engine() == ENGINE_VECTORIZED
+
+    def test_explicit_engine_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "vectorized")
+        assert resolve_engine("reference") == ENGINE_REFERENCE
+
+    def test_empty_env_means_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "")
+        assert resolve_engine() == ENGINE_REFERENCE
+
+    def test_names_are_normalized(self):
+        assert resolve_engine("  Vectorized ") == ENGINE_VECTORIZED
+        assert resolve_engine("REFERENCE") == ENGINE_REFERENCE
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown simulation engine"):
+            resolve_engine("turbo")
+        monkeypatch.setenv(ENGINE_ENV, "turbo")
+        with pytest.raises(ValueError, match="unknown simulation engine"):
+            resolve_engine()
+
+    def test_engines_tuple_lists_reference_first(self):
+        assert ENGINES == (ENGINE_REFERENCE, ENGINE_VECTORIZED)
+
+
+class TestNumpyMissing:
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        """Pretend numpy is not importable (cache holds the result)."""
+        monkeypatch.setattr(arraystate, "_numpy_cache", None)
+
+    def test_vectorized_without_numpy_raises_clear_error(self, no_numpy):
+        with pytest.raises(VectorizedEngineUnavailableError) as err:
+            resolve_engine("vectorized")
+        message = str(err.value)
+        assert "numpy" in message
+        assert "reference" in message
+        assert ENGINE_ENV in message
+
+    def test_env_selected_vectorized_without_numpy_raises(
+        self, no_numpy, monkeypatch
+    ):
+        monkeypatch.setenv(ENGINE_ENV, "vectorized")
+        with pytest.raises(VectorizedEngineUnavailableError):
+            resolve_engine()
+
+    def test_reference_without_numpy_still_works(self, no_numpy):
+        assert resolve_engine("reference") == ENGINE_REFERENCE
+
+    def test_world_config_surfaces_engine_error(self, no_numpy):
+        config = WorldConfig(engine="vectorized")
+        region = Region(100.0, 100.0)
+        mobility = StaticMobility(
+            region, {0: Point(0, 0), 1: Point(10, 10)}
+        )
+        from repro.sim.world import World
+
+        with pytest.raises(VectorizedEngineUnavailableError):
+            World(mobility, lambda node: None, config)
+
+    def test_error_is_a_runtime_error(self):
+        assert issubclass(VectorizedEngineUnavailableError, RuntimeError)
+
+
+class TestScenarioEngineField:
+    def test_default_engine_is_none(self):
+        assert Scenario().engine is None
+
+    def test_engine_values_accepted(self):
+        assert Scenario(engine="reference").engine == "reference"
+        assert Scenario(engine="vectorized").engine == "vectorized"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(engine="warp")
+
+    def test_world_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            WorldConfig(engine="warp")
+
+
+class TestArrayState:
+    def test_round_trip_points(self):
+        state = ArrayState((0, 1), [[1.0, 2.0], [3.0, 4.0]])
+        assert len(state) == 2
+        assert state.point(0) == Point(1.0, 2.0)
+        assert state.point(1) == Point(3.0, 4.0)
+        assert state.as_points() == {
+            0: Point(1.0, 2.0),
+            1: Point(3.0, 4.0),
+        }
+        assert state.index_of(1) == 1
+
+    def test_positions_are_write_protected(self):
+        state = ArrayState((0,), [[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            state.positions[0, 0] = 9.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ArrayState((0,), [[1.0, 2.0, 3.0]])
+        with pytest.raises(ValueError):
+            ArrayState((0, 1), [[1.0, 2.0]])
+
+    def test_from_mobility(self):
+        region = Region(50.0, 50.0)
+        mobility = StaticMobility(
+            region, {0: Point(1, 2), 1: Point(3, 4)}
+        )
+        state = ArrayState.from_mobility(mobility, 0.0)
+        assert state.ids == (0, 1)
+        assert np.array_equal(
+            state.positions, np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+
+    def test_unknown_node_raises(self):
+        state = ArrayState((0,), [[0.0, 0.0]])
+        with pytest.raises(KeyError):
+            state.index_of(5)
+
+
+class TestNeighborServiceEngine:
+    def build_world(self, engine=None):
+        from repro.baselines.direct import DirectDeliveryProtocol
+        from repro.sim.radio import RadioConfig
+        from repro.sim.world import World
+
+        region = Region(200.0, 200.0)
+        mobility = StaticMobility(
+            region, {0: Point(0, 0), 1: Point(50, 0), 2: Point(190, 190)}
+        )
+        config = WorldConfig(radio=RadioConfig(range_m=100.0), engine=engine)
+        return World(
+            mobility, lambda node: DirectDeliveryProtocol(), config
+        )
+
+    def test_world_defaults_to_reference(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        world = self.build_world()
+        assert world.engine == ENGINE_REFERENCE
+        assert world.neighbor_service.array_state() is None
+
+    def test_world_picks_up_env_engine(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "vectorized")
+        world = self.build_world()
+        assert world.engine == ENGINE_VECTORIZED
+
+    def test_vectorized_world_exposes_array_state(self):
+        world = self.build_world(engine="vectorized")
+        state = world.neighbor_service.array_state()
+        assert state is not None
+        assert state.ids == (0, 1, 2)
+        assert world.neighbor_service.neighbors(0) == {1}
+
+    def test_engines_agree_on_neighbors(self):
+        reference = self.build_world(engine="reference")
+        vectorized = self.build_world(engine="vectorized")
+        for node in (0, 1, 2):
+            assert reference.neighbor_service.neighbors(
+                node
+            ) == vectorized.neighbor_service.neighbors(node)

@@ -1,0 +1,263 @@
+"""Differential tests: vectorized UDG kernel vs the reference builder.
+
+The vectorized engine's correctness argument rests on the cell-binning
+kernel producing *exactly* the reference edge set — not approximately,
+exactly, including pairs at exactly radius distance and degenerate
+coincident points.  These tests compare the two constructions over
+randomized node clouds and adversarial geometries.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.udg import (
+    ArraySpatialGraph,
+    unit_disk_edge_indices,
+    unit_disk_graph,
+    unit_disk_graph_from_array,
+)
+from repro.sim.arraystate import ArrayState
+
+
+def reference_edges(points: list[Point], radius: float) -> set[tuple[int, int]]:
+    """Edge set from the pure-Python builder, as sorted row-index pairs."""
+    graph = unit_disk_graph({i: p for i, p in enumerate(points)}, radius)
+    return {tuple(sorted(edge)) for edge in graph.edges()}
+
+
+def kernel_edges(points: list[Point], radius: float) -> set[tuple[int, int]]:
+    """Edge set from the vectorized kernel, as sorted row-index pairs."""
+    array = np.array([(p.x, p.y) for p in points], dtype=np.float64)
+    array = array.reshape(len(points), 2)
+    edges = unit_disk_edge_indices(array, radius)
+    return {tuple(sorted(pair)) for pair in edges.tolist()}
+
+
+def random_cloud(rng: random.Random, n: int, width: float, height: float):
+    return [
+        Point(rng.uniform(0.0, width), rng.uniform(0.0, height))
+        for _ in range(n)
+    ]
+
+
+class TestKernelDifferential:
+    @pytest.mark.parametrize("trial", range(10))
+    def test_random_clouds_match_reference(self, trial):
+        rng = random.Random(1000 + trial)
+        n = rng.randint(2, 120)
+        width = rng.uniform(50.0, 1500.0)
+        height = rng.uniform(50.0, 500.0)
+        radius = rng.uniform(10.0, 300.0)
+        points = random_cloud(rng, n, width, height)
+        assert kernel_edges(points, radius) == reference_edges(points, radius)
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_dense_clusters_match_reference(self, trial):
+        """Many nodes inside one radius — every cell-offset pairing hit."""
+        rng = random.Random(2000 + trial)
+        radius = 100.0
+        points = random_cloud(rng, 60, 2.5 * radius, 2.5 * radius)
+        assert kernel_edges(points, radius) == reference_edges(points, radius)
+
+    def test_coincident_points_are_adjacent(self):
+        points = [Point(5.0, 5.0)] * 4 + [Point(400.0, 400.0)]
+        edges = kernel_edges(points, 10.0)
+        assert edges == {(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)}
+        assert edges == reference_edges(points, 10.0)
+
+    def test_pair_at_exactly_radius_distance_is_an_edge(self):
+        # The UDG predicate is <= r; a pair at exactly r must connect.
+        points = [Point(0.0, 0.0), Point(100.0, 0.0)]
+        assert kernel_edges(points, 100.0) == {(0, 1)}
+
+    def test_pair_one_ulp_past_radius_is_not_an_edge(self):
+        x = math.nextafter(100.0, math.inf)
+        points = [Point(0.0, 0.0), Point(x, 0.0)]
+        assert kernel_edges(points, 100.0) == set()
+        assert reference_edges(points, 100.0) == set()
+
+    def test_diagonal_pair_at_exact_radius(self):
+        # 3-4-5 triangle: hypotenuse is exactly representable.
+        points = [Point(0.0, 0.0), Point(30.0, 40.0)]
+        assert kernel_edges(points, 50.0) == {(0, 1)}
+        assert reference_edges(points, 50.0) == {(0, 1)}
+
+    def test_region_boundary_nodes(self):
+        """Nodes pinned to corners/borders (clamped mobility output)."""
+        rng = random.Random(77)
+        width, height = 1500.0, 300.0
+        points = [
+            Point(0.0, 0.0),
+            Point(width, 0.0),
+            Point(0.0, height),
+            Point(width, height),
+            Point(width / 2, 0.0),
+            Point(width / 2, height),
+            Point(0.0, height / 2),
+            Point(width, height / 2),
+        ]
+        points += random_cloud(rng, 40, width, height)
+        for radius in (50.0, 150.0, 300.0):
+            assert kernel_edges(points, radius) == reference_edges(
+                points, radius
+            )
+
+    def test_negative_coordinates(self):
+        """The cell shift must handle positions left/below the origin."""
+        rng = random.Random(88)
+        points = [
+            Point(rng.uniform(-500.0, 500.0), rng.uniform(-500.0, 500.0))
+            for _ in range(50)
+        ]
+        assert kernel_edges(points, 120.0) == reference_edges(points, 120.0)
+
+    def test_collinear_points_on_grid_lines(self):
+        """Points exactly on cell boundaries (multiples of the radius)."""
+        radius = 50.0
+        points = [Point(radius * i, 0.0) for i in range(6)]
+        points += [Point(radius * i, radius) for i in range(6)]
+        assert kernel_edges(points, radius) == reference_edges(points, radius)
+
+    def test_empty_cloud(self):
+        edges = unit_disk_edge_indices(
+            np.empty((0, 2), dtype=np.float64), 10.0
+        )
+        assert edges.shape == (0, 2)
+
+    def test_single_node(self):
+        edges = unit_disk_edge_indices(
+            np.array([[3.0, 4.0]], dtype=np.float64), 10.0
+        )
+        assert edges.shape == (0, 2)
+
+    def test_rejects_non_positive_radius(self):
+        array = np.zeros((2, 2), dtype=np.float64)
+        with pytest.raises(ValueError):
+            unit_disk_edge_indices(array, 0.0)
+        with pytest.raises(ValueError):
+            unit_disk_edge_indices(array, -5.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            unit_disk_edge_indices(np.zeros((4, 3)), 10.0)
+
+
+class TestArraySpatialGraph:
+    """The lazy array-backed snapshot equals the reference graph."""
+
+    def build_pair(self, seed: int, n: int, radius: float):
+        rng = random.Random(seed)
+        points = random_cloud(rng, n, 1000.0, 400.0)
+        reference = unit_disk_graph(
+            {i: p for i, p in enumerate(points)}, radius
+        )
+        array = np.array(
+            [(p.x, p.y) for p in points], dtype=np.float64
+        ).reshape(n, 2)
+        lazy = unit_disk_graph_from_array(tuple(range(n)), array, radius)
+        return reference, lazy
+
+    def test_positions_match(self):
+        reference, lazy = self.build_pair(seed=5, n=80, radius=120.0)
+        assert lazy.positions == reference.positions
+
+    def test_edges_and_counts_match(self):
+        reference, lazy = self.build_pair(seed=6, n=80, radius=120.0)
+        assert lazy.edges() == reference.edges()
+        assert lazy.edge_count() == reference.edge_count()
+
+    def test_neighbors_and_degree_match(self):
+        reference, lazy = self.build_pair(seed=7, n=60, radius=150.0)
+        for node in reference.nodes():
+            assert lazy.neighbors(node) == reference.neighbors(node)
+            assert lazy.degree(node) == reference.degree(node)
+
+    def test_adjacency_matches(self):
+        reference, lazy = self.build_pair(seed=8, n=60, radius=150.0)
+        assert lazy.adjacency == reference.adjacency
+
+    def test_k_hop_matches(self):
+        reference, lazy = self.build_pair(seed=9, n=50, radius=100.0)
+        for node in (0, 17, 49):
+            for k in (1, 2, 3):
+                assert lazy.k_hop_neighborhood(
+                    node, k
+                ) == reference.k_hop_neighborhood(node, k)
+
+    def test_neighbors_of_unknown_node_is_empty(self):
+        _, lazy = self.build_pair(seed=10, n=10, radius=50.0)
+        assert lazy.neighbors(999) == set()
+        assert lazy.neighbors("nope") == set()
+
+    def test_non_integer_ids_relabel(self):
+        rng = random.Random(11)
+        points = random_cloud(rng, 20, 400.0, 400.0)
+        ids = tuple(f"node-{i}" for i in range(20))
+        array = np.array([(p.x, p.y) for p in points], dtype=np.float64)
+        lazy = unit_disk_graph_from_array(ids, array, 150.0)
+        reference = unit_disk_graph(
+            dict(zip(ids, points)), 150.0
+        )
+        assert lazy.positions == reference.positions
+        assert lazy.adjacency == reference.adjacency
+        assert lazy.neighbors("node-3") == reference.neighbors("node-3")
+        assert lazy.neighbors("absent") == set()
+
+    def test_neighbors_before_and_after_adjacency_materialization(self):
+        """Per-node lazy sets agree with the materialized dict."""
+        _, lazy = self.build_pair(seed=12, n=40, radius=120.0)
+        early = {node: lazy.neighbors(node) for node in (0, 1, 2)}
+        full = lazy.adjacency
+        for node, nbrs in early.items():
+            assert full[node] == nbrs
+
+    def test_empty_graph(self):
+        lazy = unit_disk_graph_from_array(
+            (), np.empty((0, 2), dtype=np.float64), 10.0
+        )
+        assert lazy.nodes() == []
+        assert lazy.edge_count() == 0
+        assert lazy.edges() == set()
+
+    def test_single_node_graph(self):
+        lazy = unit_disk_graph_from_array(
+            (0,), np.array([[1.0, 2.0]], dtype=np.float64), 10.0
+        )
+        assert lazy.nodes() == [0]
+        assert lazy.neighbors(0) == set()
+        assert lazy.positions[0] == Point(1.0, 2.0)
+
+    def test_id_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            unit_disk_graph_from_array(
+                (0, 1, 2), np.zeros((2, 2), dtype=np.float64), 10.0
+            )
+
+    def test_isinstance_spatial_graph(self):
+        _, lazy = self.build_pair(seed=13, n=5, radius=50.0)
+        assert isinstance(lazy, ArraySpatialGraph)
+
+
+class TestArrayStateSnapshot:
+    """ArrayState.unit_disk_snapshot equals the reference over mobility."""
+
+    def test_snapshot_equals_reference_over_mobility(self):
+        from repro.mobility.base import Region
+        from repro.mobility.random_waypoint import RandomWaypointMobility
+
+        region = Region(800.0, 300.0)
+        mobility = RandomWaypointMobility(
+            node_ids=list(range(40)), region=region, seed=21
+        )
+        for t in (0.0, 3.5, 57.0, 120.0):
+            state = ArrayState.from_mobility(mobility, t)
+            snapshot = state.unit_disk_snapshot(100.0)
+            reference = unit_disk_graph(mobility.positions(t), 100.0)
+            assert snapshot.positions == reference.positions
+            assert snapshot.edges() == reference.edges()
