@@ -1,0 +1,100 @@
+"""Adversarial campaign: how protocols degrade under Byzantine nodes.
+
+The paper's evaluation assumes every node runs the protocol honestly.
+This script sweeps the adversary axis — a rising fraction of nodes
+compromised with each misbehaviour mode — against three protocols, and
+prints one delivery row per (adversary, protocol) cell, so the
+robustness ranking is visible in a minute of wall-clock.
+
+Expected shape: a blackhole fraction hurts single-custody protocols
+(glr, one_hop) roughly in proportion to how often the one custodian
+hands its copy to a sink, while epidemic's redundancy soaks small
+fractions and collapses only when sinks dominate the contact graph.
+Location liars barely dent epidemic (it ignores coordinates) but
+mislead geographic forwarding.
+
+Run:
+    python examples/adversarial_campaign.py
+"""
+
+from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.experiments.scenarios import Scenario
+
+#: The honest anchor plus each mode at rising compromise fractions.
+ADVERSARIES = (
+    None,
+    "blackhole:0.1",
+    "blackhole:0.3",
+    "selective_drop:0.3",
+    "location_lying:0.3",
+)
+
+
+def main() -> None:
+    spec = CampaignSpec(
+        name="adversarial-demo",
+        base=Scenario(
+            name="adversarial-demo",
+            n_nodes=30,
+            active_nodes=15,
+            message_count=30,
+            sim_time=180.0,
+            seed=11,
+        ),
+        grid=(("adversary", ADVERSARIES),),
+        protocols=("glr", "epidemic", "one_hop"),
+        replicates=2,
+    )
+    print(
+        f"campaign {spec.name}: {len(ADVERSARIES)} adversary cells x "
+        f"{len(spec.protocols)} protocols x {spec.replicates} replicates "
+        f"({spec.total_tasks()} simulations)"
+    )
+    print()
+
+    result = run_campaign(spec, workers=4)
+
+    header = (
+        f"{'adversary':>22} {'protocol':>9} {'ratio':>6} "
+        f"{'latency_s':>9} {'frames':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    honest: dict[str, float] = {}
+    for (scenario_name, protocol), summary in result.summaries().items():
+        adversary = scenario_name.split("adversary=")[-1]
+        ratio = summary.delivery_ratio.mean
+        if adversary == "none":
+            honest[protocol] = ratio
+        latency = (
+            f"{summary.average_latency.mean:.1f}"
+            if summary.average_latency is not None
+            else "n/a"
+        )
+        frames = sum(
+            m.frames_sent for m in result.metrics[(scenario_name, protocol)]
+        )
+        print(
+            f"{adversary:>22} {protocol:>9} {ratio:>6.2f} "
+            f"{latency:>9} {frames:>8}"
+        )
+
+    print()
+    worst = {
+        protocol: min(
+            summary.delivery_ratio.mean
+            for (name, p), summary in result.summaries().items()
+            if p == protocol
+        )
+        for protocol in ("glr", "epidemic", "one_hop")
+    }
+    for protocol, floor in worst.items():
+        drop = honest[protocol] - floor
+        print(
+            f"{protocol}: honest {honest[protocol]:.2f}, worst cell "
+            f"{floor:.2f} (drop {drop:+.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""Baseline DTN routing protocols.
+"""Baseline DTN routing protocols and the protocol registry.
 
 - :mod:`repro.baselines.epidemic` — Vahdat & Becker's epidemic routing,
   the benchmark the paper compares GLR against everywhere.
@@ -8,15 +8,29 @@
 - :mod:`repro.baselines.spray_and_wait` — Spyropoulos et al.'s bounded-
   copy flooding; a natural midpoint between GLR's controlled copies and
   epidemic's unbounded ones (extension beyond the paper).
+- :mod:`repro.baselines.one_hop` — one-hop-information geographic
+  routing (arXiv 1602.08461): single-copy greedy over beaconed
+  neighbour positions, carry otherwise.
+- :mod:`repro.baselines.registry` — the string-keyed protocol registry
+  every experiment driver constructs protocols through.
 """
 
 from repro.baselines.direct import DirectDeliveryProtocol
 from repro.baselines.epidemic import EpidemicConfig, EpidemicProtocol
 from repro.baselines.first_contact import FirstContactProtocol
+from repro.baselines.one_hop import OneHopConfig, OneHopProtocol
 from repro.baselines.receipts import (
     ReceiptEpidemicConfig,
     ReceiptEpidemicProtocol,
     ReceiptMode,
+)
+from repro.baselines.registry import (
+    ProtocolEntry,
+    available_protocols,
+    protocol_entry,
+    protocol_factory,
+    register_protocol,
+    resolve_protocol,
 )
 from repro.baselines.spray_and_wait import (
     SprayAndWaitConfig,
@@ -28,9 +42,17 @@ __all__ = [
     "EpidemicConfig",
     "EpidemicProtocol",
     "FirstContactProtocol",
+    "OneHopConfig",
+    "OneHopProtocol",
+    "ProtocolEntry",
     "ReceiptEpidemicConfig",
     "ReceiptEpidemicProtocol",
     "ReceiptMode",
     "SprayAndWaitConfig",
     "SprayAndWaitProtocol",
+    "available_protocols",
+    "protocol_entry",
+    "protocol_factory",
+    "register_protocol",
+    "resolve_protocol",
 ]

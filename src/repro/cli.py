@@ -37,6 +37,8 @@ Examples::
         --protocol-param custody=true,false --workers 4
     repro campaign --mobility rpgm --mobility-param n_groups=2,4 \\
         --protocols glr --replicates 3
+    repro campaign --protocols glr,epidemic --adversary none \\
+        --adversary blackhole:0.1 --adversary blackhole:0.3
     repro campaign --suite mobility-x-protocol --effort bench
     repro campaign orchestrate --radii 50,100 --shards 2 \\
         --workers-per-shard 2 --dir RUNDIR
@@ -118,6 +120,10 @@ from repro.mobility.registry import (
     as_mobility_config,
     available_models,
 )
+from repro.sim.adversary import (
+    as_adversary_config,
+    available_adversary_modes,
+)
 
 
 def _fig1_driver(
@@ -158,6 +164,20 @@ EFFORTS: dict[str, Effort] = {
 }
 
 
+def _adversary_argument(text: str) -> str:
+    """``--adversary`` argparse type: validate the spec at parse time.
+
+    A typo'd mode or fraction should die in argparse before anything
+    runs.  The raw string is kept (not the parsed config) so argparse
+    can print it in error messages; Scenario/CampaignSpec re-coerce.
+    """
+    try:
+        as_adversary_config(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return text
+
+
 def _hosts_argument(text: str) -> list[str]:
     """``--hosts`` argparse type: split and *validate* at parse time.
 
@@ -194,6 +214,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--nodes", type=int, default=50)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--storage-limit", type=int, default=None)
+    run_p.add_argument(
+        "--adversary",
+        type=_adversary_argument,
+        default=None,
+        metavar="MODE:FRACTION[:k=v,...]",
+        help="compromise a seed-chosen node fraction with this Byzantine "
+        f"behaviour (modes: {','.join(available_adversary_modes())}; "
+        "'none' or fraction 0 runs honest)",
+    )
     run_p.add_argument(
         "--engine",
         default=None,
@@ -628,6 +657,19 @@ def _add_campaign_shape_args(parser: argparse.ArgumentParser) -> None:
         "(reference,vectorized); engines are bit-identical, so this "
         "axis is a cross-check/benchmark sweep",
     )
+    parser.add_argument(
+        "--adversary",
+        action="append",
+        type=_adversary_argument,
+        default=None,
+        metavar="MODE:FRACTION[:k=v,...]",
+        help="adversary axis: each occurrence is one grid value "
+        f"(modes: {','.join(available_adversary_modes())}; 'none' is "
+        "the honest cell); a single occurrence sets the base scenario "
+        "instead of adding a grid axis — repeatable rather than "
+        "comma-separated because parameterised specs like "
+        "selective_drop:0.2:drop_rate=0.8 contain commas",
+    )
     parser.add_argument("--messages", type=int, default=None)
     parser.add_argument("--sim-time", type=float, default=None)
     parser.add_argument("--storage-limit", type=int, default=None)
@@ -649,6 +691,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sim_time=args.sim_time,
         seed=args.seed,
         engine=args.engine,
+        adversary=args.adversary,
     )
     metrics = run_single(
         scenario, args.protocol, buffer_limit=args.storage_limit
@@ -798,6 +841,7 @@ def _reject_conflicting_shape_flags(
             ("--protocol-param", args.protocol_param),
             ("--mobility-param", args.mobility_param),
             ("--engines", args.engines),
+            ("--adversary", args.adversary),
             ("--messages", args.messages),
             ("--sim-time", args.sim_time),
             ("--storage-limit", args.storage_limit),
@@ -893,6 +937,17 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         )
     if args.engines:
         grid.append(("engine", _csv(args.engines, str)))
+    if args.adversary:
+        if len(args.adversary) == 1:
+            # One spec compromises the base scenario itself — no axis,
+            # so an honest spec ('none' or fraction 0) keys every task
+            # identically to a campaign with no --adversary at all
+            # (the diff-clean property the CI smoke job checks).
+            overrides["adversary"] = args.adversary[0]
+        else:
+            if len(set(args.adversary)) != len(args.adversary):
+                raise ValueError("--adversary has duplicate values")
+            grid.append(("adversary", tuple(args.adversary)))
     return CampaignSpec(
         name=name,
         base=Scenario(name=name, **overrides),
@@ -1472,6 +1527,9 @@ def _cmd_list(_: argparse.Namespace) -> int:
         print(f"  {name}")
     print("mobility models:")
     for name in available_models():
+        print(f"  {name}")
+    print("adversary modes:")
+    for name in available_adversary_modes():
         print(f"  {name}")
     print("suites:")
     for name in available_suites():

@@ -34,17 +34,36 @@ def _angle(origin: Point, target: Point) -> float:
     return math.atan2(target.y - origin.y, target.x - origin.x)
 
 
+def _sweep(base: float, angle: float, clockwise: bool) -> float:
+    """Angular distance from ``base`` to ``angle`` in the walk direction.
+
+    Counter-clockwise is the right-hand rule (the paper's single-walk
+    recovery); clockwise is its mirror, used by the second walk of a
+    2FACE traversal.  A zero sweep means the full turn: the walk must
+    actually leave along an edge, not stand on the reference ray.
+    """
+    if clockwise:
+        delta = (base - angle) % (2.0 * math.pi)
+    else:
+        delta = (angle - base) % (2.0 * math.pi)
+    if delta == 0.0:
+        delta = 2.0 * math.pi
+    return delta
+
+
 def first_face_hop(
     node_pos: Point,
     dest_pos: Point,
     neighbor_positions: dict[NodeId, Point],
+    clockwise: bool = False,
 ) -> NodeId | None:
     """First edge of a face walk at a local minimum.
 
     Right-hand rule entry: the first neighbour counter-clockwise from
-    the ray ``node -> destination``.  Returns None when the node has no
-    routing-graph neighbours at all (isolated: store-and-forward is the
-    only option).
+    the ray ``node -> destination`` (or clockwise — the mirror-image
+    left-hand walk — with ``clockwise=True``; 2FACE launches one of
+    each).  Returns None when the node has no routing-graph neighbours
+    at all (isolated: store-and-forward is the only option).
     """
     if not neighbor_positions:
         return None
@@ -52,9 +71,7 @@ def first_face_hop(
     best: NodeId | None = None
     best_delta = math.inf
     for nbr, pos in neighbor_positions.items():
-        delta = (_angle(node_pos, pos) - base) % (2.0 * math.pi)
-        if delta == 0.0:
-            delta = 2.0 * math.pi
+        delta = _sweep(base, _angle(node_pos, pos), clockwise)
         if delta < best_delta:
             best_delta = delta
             best = nbr
@@ -66,8 +83,10 @@ def next_face_hop(
     prev_pos: Point,
     neighbor_positions: dict[NodeId, Point],
     prev_id: NodeId,
+    clockwise: bool = False,
 ) -> NodeId | None:
-    """Continue a face walk: first neighbour CCW after the reverse edge.
+    """Continue a face walk: first neighbour CCW after the reverse edge
+    (CW with ``clockwise=True``, continuing a 2FACE mirror walk).
 
     Args:
         node_pos: current node's position.
@@ -76,6 +95,8 @@ def next_face_hop(
         prev_id: id of the previous node (excluded unless it is the only
             neighbour, in which case the walk doubles back, as the
             right-hand rule requires at a dead end).
+        clockwise: walk direction (both directions double back at dead
+            ends the same way).
     """
     if not neighbor_positions:
         return None
@@ -85,9 +106,7 @@ def next_face_hop(
     for nbr, pos in neighbor_positions.items():
         if nbr == prev_id:
             continue
-        delta = (_angle(node_pos, pos) - base) % (2.0 * math.pi)
-        if delta == 0.0:
-            delta = 2.0 * math.pi
+        delta = _sweep(base, _angle(node_pos, pos), clockwise)
         if delta < best_delta:
             best_delta = delta
             best = nbr

@@ -85,6 +85,15 @@ class GLRConfig:
             face episode before starting another.  In a disconnected
             cluster a face walk just circumnavigates the component; the
             cooldown stops that from repeating every check interval.
+        two_face: launch bi-directional face traversals (2FACE, after
+            arXiv cs/0611117): on entering face mode the copy walks the
+            face counter-clockwise as usual, and a mirror copy is sent
+            the other way around simultaneously.  Whichever direction
+            reaches a node closer to the destination first resumes
+            greedy there; when the walks meet, the duplicate-merge
+            machinery collapses them back to one copy.  Halves the
+            worst-case face detour at the cost of one extra in-flight
+            copy per recovery.
         progress_margin_fraction: greedy hysteresis as a fraction of the
             radio range — a neighbour must be at least this much closer
             to the destination to receive the message.  Suppresses
@@ -116,6 +125,7 @@ class GLRConfig:
     face_routing: bool = True
     max_face_steps: int = 8
     face_cooldown: float = 10.0
+    two_face: bool = False
     progress_margin_fraction: float = 0.10
     range_guard_fraction: float = 1.0
     stale_patience_rounds: int = 10
@@ -195,6 +205,7 @@ class GLRProtocol(Protocol):
         self.direct_deliveries = 0
         self.face_entries = 0
         self.face_steps_taken = 0
+        self.two_face_launches = 0
         self.store_stalls = 0
         self.location_resets = 0
         self.duplicates_ignored = 0
@@ -409,9 +420,15 @@ class GLRProtocol(Protocol):
             first = first_face_hop(my_pos, dest_pos, positions)
             if first is not None:
                 self.face_entries += 1
+                start_distance = distance(my_pos, dest_pos)
+                if self.config.two_face:
+                    self._launch_mirror_walk(
+                        copy, my_pos, dest_pos, positions, first,
+                        start_distance,
+                    )
                 state.copy = copy.entering_face_mode(
                     prev=self.api.node_id,
-                    start_distance=distance(my_pos, dest_pos),
+                    start_distance=start_distance,
                 )
                 self._forward(copy_id, state, first)
                 return
@@ -444,6 +461,39 @@ class GLRProtocol(Protocol):
         state.fail_rounds = 0
         state.fail_signature = None
 
+    def _launch_mirror_walk(
+        self,
+        copy: MessageCopy,
+        my_pos: Point,
+        dest_pos: Point,
+        positions: dict[NodeId, Point],
+        ccw_first: NodeId,
+        start_distance: float,
+    ) -> None:
+        """2FACE: fire the clockwise twin of a face walk being entered.
+
+        The twin carries the same copy id, so it is not a new copy in
+        the multi-copy sense: wherever the two walks meet, the
+        duplicate-merge path (ack + ignore) collapses them back to one
+        instance, and delivery metrics dedup on the message uid.  It is
+        sent without taking custody — the counter-clockwise primary
+        already holds it; losing the twin merely degrades 2FACE to the
+        ordinary single walk.
+        """
+        assert self.api is not None
+        cw_first = first_face_hop(my_pos, dest_pos, positions, clockwise=True)
+        if cw_first is None or cw_first == ccw_first:
+            # One viable first edge only: both directions would traverse
+            # the same node next, so a twin adds traffic, not coverage.
+            return
+        twin = copy.entering_face_mode(
+            prev=self.api.node_id,
+            start_distance=start_distance,
+            direction="cw",
+        )
+        if self.api.send(data_frame(self.api.node_id, cw_first, twin)):
+            self.two_face_launches += 1
+
     def _face_step(
         self,
         copy_id: tuple,
@@ -460,17 +510,22 @@ class GLRProtocol(Protocol):
             state.fail_rounds += 1
             return
         prev = copy.face_prev
+        clockwise = copy.face_dir == "cw"
         next_hop: NodeId | None
         if prev is None or prev == self.api.node_id:
             dest_pos = copy.dest_location
             next_hop = (
-                first_face_hop(my_pos, dest_pos, positions)
+                first_face_hop(
+                    my_pos, dest_pos, positions, clockwise=clockwise
+                )
                 if dest_pos is not None
                 else None
             )
         else:
             prev_pos = self.api.beacon_position(prev)
-            next_hop = next_face_hop(my_pos, prev_pos, positions, prev)
+            next_hop = next_face_hop(
+                my_pos, prev_pos, positions, prev, clockwise=clockwise
+            )
         if next_hop is None:
             state.copy = copy.leaving_face_mode(block_until=blocked_until)
             state.fail_rounds += 1

@@ -55,7 +55,11 @@ from repro.baselines.spray_and_wait import SprayAndWaitConfig
 from repro.core.protocol import GLRConfig
 from repro.experiments.common import ci_of, fmt_ci
 from repro.experiments.protocols import ProtocolConfig, as_protocol_config
-from repro.experiments.runner import available_protocols, run_single
+from repro.experiments.runner import (
+    available_protocols,
+    resolve_run_config,
+    run_single,
+)
 from repro.experiments.scenarios import Scenario
 from repro.experiments.scheduler import (
     AssignmentIdleTimeout,
@@ -71,6 +75,7 @@ from repro.experiments.stream import (
 )
 from repro.mobility.registry import MobilityConfig, as_mobility_config
 from repro.mobility.traces import trace_file_digest
+from repro.sim.adversary import AdversaryConfig, as_adversary_config
 from repro.seeding import replicate_seed, stable_shard
 from repro.sim.stats import SimulationMetrics
 from repro.telemetry.profile import make_profiler
@@ -248,6 +253,12 @@ def _canonical_scenario(task: ReplicateTask, content_hash: bool) -> dict:
     # must not collapse to one cell).
     if scenario.get("engine") is None:
         scenario.pop("engine", None)
+    # No adversary keys exactly like the field never existed, so
+    # pre-axis caches stay valid — and since a zero fraction coerces to
+    # None at scenario construction, "no adversary" has exactly one key
+    # however it was spelled.
+    if scenario.get("adversary") is None:
+        scenario.pop("adversary", None)
     if content_hash and _is_trace_mobility(task.scenario):
         params = dict(scenario["mobility"]["params"])
         path = params.pop("path", None)
@@ -291,6 +302,9 @@ def legacy_task_payload(task: ReplicateTask) -> dict | None:
         return None
     if task.scenario.engine is not None:
         # Explicit engine pins postdate v2 keys; nothing to migrate.
+        return None
+    if task.scenario.adversary is not None:
+        # Adversary injection postdates v2 keys too.
         return None
     return {
         "format": _LEGACY_CACHE_FORMAT,
@@ -463,15 +477,25 @@ RecordCallback = Callable[
 
 
 def _run_task(task: ReplicateTask, profiler=None) -> SimulationMetrics:
-    """Simulate one task (module-level so it pickles into worker procs)."""
+    """Simulate one task (module-level so it pickles into worker procs).
+
+    Task fields keep the historical per-protocol config slots (they are
+    part of the persisted cache-key schema); they are translated onto
+    the unified ``protocol_config`` path here, quietly — stored tasks
+    are not deprecated API use.
+    """
+    config = resolve_run_config(
+        task.protocol,
+        task.protocol_config,
+        task.glr_config,
+        task.epidemic_config,
+        task.spray_config,
+    )
     return run_single(
         task.scenario,
         task.protocol,
-        glr_config=task.glr_config,
-        epidemic_config=task.epidemic_config,
-        spray_config=task.spray_config,
         buffer_limit=task.buffer_limit,
-        protocol_config=task.protocol_config,
+        protocol_config=config,
         profiler=profiler,
     )
 
@@ -617,6 +641,14 @@ def run_replicate_specs(
 
 _SCENARIO_FIELDS = frozenset(f.name for f in dataclasses.fields(Scenario))
 
+#: Grid axes whose values are coerced into config objects at spec
+#: build time (so caches key on the resolved configuration, and
+#: equivalent spellings dedupe).
+_AXIS_COERCERS: dict[str, Callable] = {
+    "mobility": as_mobility_config,
+    "adversary": as_adversary_config,
+}
+
 
 @dataclass(frozen=True)
 class CampaignSpec:
@@ -672,15 +704,17 @@ class CampaignSpec:
                     f"unknown protocol {config.protocol!r}; "
                     f"choose from {known}"
                 )
-        if any(fname == "mobility" for fname, _ in self.grid):
+        if any(fname in ("mobility", "adversary") for fname, _ in self.grid):
             # Coerce before validation so name strings / mappings
-            # dedupe against equivalent MobilityConfig values.
+            # dedupe against equivalent config values.  A zero-fraction
+            # adversary coerces to None — the honest cell — so a
+            # fraction sweep naturally includes its own control.
             object.__setattr__(
                 self,
                 "grid",
                 tuple(
-                    (fname, tuple(as_mobility_config(v) for v in values))
-                    if fname == "mobility"
+                    (fname, tuple(_AXIS_COERCERS[fname](v) for v in values))
+                    if fname in _AXIS_COERCERS
                     else (fname, values)
                     for fname, values in self.grid
                 ),
@@ -704,7 +738,13 @@ class CampaignSpec:
         scenarios = []
         for combo in itertools.product(*axes):
             overrides = dict(zip(fields, combo))
-            label = ",".join(f"{k}={v}" for k, v in overrides.items())
+            # A coerced zero-fraction adversary is None (the honest
+            # control cell); label it "none" so the cell name round-
+            # trips through as_adversary_config.
+            label = ",".join(
+                f"{k}={'none' if v is None else v}"
+                for k, v in overrides.items()
+            )
             scenarios.append(
                 self.base.but(name=f"{self.name}/{label}", **overrides)
             )
@@ -769,6 +809,11 @@ class CampaignSpec:
         # before the field existed.
         if base.get("engine") is None:
             base.pop("engine", None)
+        # Same rule for the adversary axis: unset is omitted, set is
+        # serialised via its own JSON form.
+        base.pop("adversary", None)
+        if self.base.adversary is not None:
+            base["adversary"] = self.base.adversary.to_json()
         return {
             "name": self.name,
             "base": base,
@@ -780,7 +825,9 @@ class CampaignSpec:
                 [
                     fname,
                     [
-                        v.to_json() if isinstance(v, MobilityConfig) else v
+                        v.to_json()
+                        if isinstance(v, (MobilityConfig, AdversaryConfig))
+                        else v
                         for v in values
                     ],
                 ]

@@ -655,6 +655,12 @@ def orchestrate_campaign(
             else []
         ),
     )
+    adversaries = _adversary_specs(spec)
+    if adversaries:
+        # Adversarial runs are easy to mistake for broken ones (delivery
+        # collapses by design), so the injection is a first-class event
+        # a post-mortem reads before blaming the protocol or the fleet.
+        event.emit("adversary", specs=adversaries)
 
     statuses = [
         ShardStatus(
@@ -923,6 +929,21 @@ def orchestrate_campaign(
     return _collect(
         layout, done_streams, total_tasks, statuses, event, "static"
     )
+
+
+def _adversary_specs(spec: CampaignSpec) -> list[str]:
+    """Every adversary spec the campaign runs, as canonical strings.
+
+    Covers both spellings — a compromised base scenario and an
+    ``adversary`` grid axis — and skips honest cells (``None``).
+    """
+    specs: list[str] = []
+    if spec.base.adversary is not None:
+        specs.append(str(spec.base.adversary))
+    for name, values in spec.grid:
+        if name == "adversary":
+            specs.extend(str(v) for v in values if v is not None)
+    return specs
 
 
 def _emit_shard_summaries(

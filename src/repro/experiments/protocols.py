@@ -30,79 +30,44 @@ Enum-typed fields (``glr``'s ``location_mode``, the receipt mode) are
 *not* sweepable: config params are restricted to scalars so configs
 stay hashable and canonicalise cleanly into cache keys.  Sweep those
 through the Python API with a concrete config object instead.
+
+Which protocols exist, their config dataclasses, and their
+non-sweepable fields all come from the protocol registry
+(:mod:`repro.baselines.registry`) — registering a protocol there makes
+it sweepable here with no further wiring.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Mapping
 
-from repro.baselines.epidemic import EpidemicConfig
-from repro.baselines.spray_and_wait import SprayAndWaitConfig
-from repro.core.protocol import GLRConfig
-from repro.params import ParamValue, canonicalise_params, normalize_name
+from repro.baselines.registry import (
+    available_protocols,
+    protocol_entry,
+    resolve_protocol,
+)
+from repro.params import ParamValue, canonicalise_params
 
-_normalize = normalize_name
-
-
-def _receipts_config_class() -> type:
-    # Imported lazily, matching the runner: the receipts baseline is an
-    # extension module layered on epidemic.
-    from repro.baselines.receipts import ReceiptEpidemicConfig
-
-    return ReceiptEpidemicConfig
-
-
-@dataclass(frozen=True)
-class _ProtocolEntry:
-    """How one protocol's parameters are validated and materialised."""
-
-    config_class: Callable[[], type] | None
-    non_sweepable: frozenset[str] = frozenset()
-
-
-#: Protocol name -> config entry.  Must stay in sync with
-#: :func:`repro.experiments.runner.available_protocols` (asserted by
-#: the test suite; the runner cannot be imported here without a cycle).
-_PROTOCOLS: dict[str, _ProtocolEntry] = {
-    "glr": _ProtocolEntry(
-        lambda: GLRConfig, non_sweepable=frozenset({"location_mode"})
-    ),
-    "epidemic": _ProtocolEntry(lambda: EpidemicConfig),
-    "epidemic_receipts": _ProtocolEntry(
-        _receipts_config_class, non_sweepable=frozenset({"receipt_mode"})
-    ),
-    "spray_and_wait": _ProtocolEntry(lambda: SprayAndWaitConfig),
-    "direct": _ProtocolEntry(None),
-    "first_contact": _ProtocolEntry(None),
-}
+_resolve_protocol = resolve_protocol
 
 
 def sweepable_protocols() -> list[str]:
     """Protocol names accepted by :class:`ProtocolConfig`."""
-    return sorted(_PROTOCOLS)
+    return available_protocols()
 
 
 def sweepable_params(protocol: str) -> list[str]:
     """Parameter names a protocol accepts in a :class:`ProtocolConfig`."""
-    entry = _PROTOCOLS[_resolve_protocol(protocol)]
+    entry = protocol_entry(protocol)
     if entry.config_class is None:
         return []
     return sorted(
         f.name
-        for f in dataclasses.fields(entry.config_class())
+        for f in dataclasses.fields(entry.config_class)
         if f.name not in entry.non_sweepable
     )
-
-
-def _resolve_protocol(name: str) -> str:
-    normalized = _normalize(name)
-    if normalized not in _PROTOCOLS:
-        raise ValueError(
-            f"unknown protocol {name!r}; choose from {sweepable_protocols()}"
-        )
-    return normalized
 
 
 def _bool_fields(protocol: str) -> frozenset[str]:
@@ -111,12 +76,12 @@ def _bool_fields(protocol: str) -> frozenset[str]:
     Field annotations are strings under ``from __future__ import
     annotations``, so both spellings are matched.
     """
-    entry = _PROTOCOLS[protocol]
+    entry = protocol_entry(protocol)
     if entry.config_class is None:
         return frozenset()
     return frozenset(
         f.name
-        for f in dataclasses.fields(entry.config_class())
+        for f in dataclasses.fields(entry.config_class)
         if f.type in ("bool", bool)
     )
 
@@ -185,7 +150,7 @@ class ProtocolConfig:
         parameter names and for parameter values the config's own
         validation rejects.
         """
-        entry = _PROTOCOLS[self.protocol]
+        entry = protocol_entry(self.protocol)
         params = self.params_dict()
         if entry.config_class is None:
             if params:
@@ -201,7 +166,7 @@ class ProtocolConfig:
                 f"sweepable (non-scalar fields); choose from "
                 f"{sweepable_params(self.protocol)}"
             )
-        config_class = entry.config_class()
+        config_class = entry.config_class
         accepted = {f.name for f in dataclasses.fields(config_class)}
         unknown = sorted(set(params) - accepted)
         if unknown:

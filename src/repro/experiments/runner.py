@@ -2,22 +2,29 @@
 
 The runner is the only place where scenario values are translated into
 simulator/protocol configuration, so every experiment driver and bench
-goes through the same code path.
+goes through the same code path.  Protocol construction flows through
+the protocol registry (:mod:`repro.baselines.registry`): the runner
+never names a concrete protocol class, so registering a protocol makes
+it runnable here with no further wiring.
+
+``protocol_config`` is the single configuration argument: it accepts a
+declarative :class:`~repro.experiments.protocols.ProtocolConfig` (the
+campaign sweep axis) or a concrete config dataclass instance
+(``GLRConfig``, ``EpidemicConfig``, ...).  The historical per-protocol
+keywords (``glr_config``/``epidemic_config``/``spray_config``) remain
+as deprecation shims that collapse onto the same path, bit-identically
+(see :func:`resolve_run_config`).
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Callable
+import warnings
 
-from repro.baselines.direct import DirectDeliveryProtocol
-from repro.baselines.epidemic import EpidemicConfig, EpidemicProtocol
-from repro.baselines.first_contact import FirstContactProtocol
-from repro.baselines.spray_and_wait import (
-    SprayAndWaitConfig,
-    SprayAndWaitProtocol,
-)
-from repro.core.protocol import GLRConfig, GLRProtocol
+from repro.baselines.registry import available_protocols as _available_protocols
+from repro.baselines.registry import protocol_factory, resolve_protocol
+from repro.baselines.epidemic import EpidemicConfig
+from repro.baselines.spray_and_wait import SprayAndWaitConfig
+from repro.core.protocol import GLRConfig
 from repro.experiments.protocols import ProtocolConfig
 from repro.experiments.scenarios import Scenario
 from repro.experiments.workload import generate_workload
@@ -25,99 +32,80 @@ from repro.mobility.base import MobilityModel
 from repro.mobility.random_waypoint import RandomWaypointMobility
 from repro.mobility.registry import build_mobility
 from repro.seeding import replicate_seed
+from repro.sim.adversary import build_adversary_plan
 from repro.sim.arraystate import resolve_engine
 from repro.sim.mac import MacConfig
 from repro.sim.radio import RadioConfig
 from repro.sim.stats import SimulationMetrics
-from repro.sim.world import Protocol, World, WorldConfig
+from repro.sim.world import World, WorldConfig
 
 
 def available_protocols() -> list[str]:
-    """Names accepted by :func:`run_single`'s ``protocol`` argument."""
-    return [
-        "glr",
-        "epidemic",
-        "epidemic_receipts",
-        "direct",
-        "first_contact",
-        "spray_and_wait",
-    ]
+    """Names accepted by :func:`run_single`'s ``protocol`` argument.
+
+    Derived from the protocol registry; aliases resolve on use.
+    """
+    return _available_protocols()
 
 
-def _protocol_factory(
+def resolve_run_config(
     protocol: str,
-    glr_config: GLRConfig | None,
-    epidemic_config: EpidemicConfig | None,
-    spray_config: SprayAndWaitConfig | None,
-    buffer_limit: int | None,
-    protocol_config: ProtocolConfig | None = None,
-) -> Callable[[object], Protocol]:
-    receipts_config = None
+    protocol_config: "ProtocolConfig | object | None" = None,
+    glr_config: GLRConfig | None = None,
+    epidemic_config: EpidemicConfig | None = None,
+    spray_config: SprayAndWaitConfig | None = None,
+    warn: bool = False,
+) -> object | None:
+    """Collapse every config spelling into one concrete config (or None).
+
+    The single translation point between the legacy per-protocol
+    keywords and the unified ``protocol_config`` path, so both APIs
+    construct bit-identical protocols:
+
+    - a declarative :class:`ProtocolConfig` is validated against the
+      protocol and built into its concrete config dataclass;
+    - a concrete config instance passes through (the registry
+      type-checks it at factory build time);
+    - with no ``protocol_config``, the legacy keyword matching the
+      protocol is selected and the others are ignored — exactly how the
+      old per-protocol branch chain behaved.
+
+    ``warn`` emits a :class:`DeprecationWarning` when legacy keywords
+    are in use (the public entry points pass True; internal callers
+    translating stored task fields stay quiet).
+    """
+    canonical = resolve_protocol(protocol)
+    legacy = {
+        "glr": glr_config,
+        "epidemic": epidemic_config,
+        "spray_and_wait": spray_config,
+    }
+    legacy_given = [k for k, v in legacy.items() if v is not None]
+    if legacy_given and warn:
+        warnings.warn(
+            "glr_config/epidemic_config/spray_config are deprecated; "
+            "pass the config object via protocol_config instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
     if protocol_config is not None:
-        # A declarative ProtocolConfig (campaign protocol axis) is an
-        # alternative to passing a concrete config object; accepting
-        # both would make it ambiguous which one a run keyed on.
-        if protocol_config.protocol != protocol:
-            raise ValueError(
-                f"protocol config is for {protocol_config.protocol!r}, "
-                f"but the run requests {protocol!r}"
-            )
-        if (
-            glr_config is not None
-            or epidemic_config is not None
-            or spray_config is not None
-        ):
+        if legacy_given:
             raise ValueError(
                 "pass either protocol_config or a concrete "
                 "glr/epidemic/spray config, not both"
             )
-        built = protocol_config.build()
-        if protocol == "glr":
-            glr_config = built
-        elif protocol == "epidemic":
-            epidemic_config = built
-        elif protocol == "spray_and_wait":
-            spray_config = built
-        elif protocol == "epidemic_receipts":
-            receipts_config = built
-    if protocol == "glr":
-        config = glr_config if glr_config is not None else GLRConfig()
-        if buffer_limit is not None and config.storage_limit is None:
-            config = dataclasses.replace(config, storage_limit=buffer_limit)
-        return lambda node: GLRProtocol(config)
-    if protocol == "epidemic":
-        config = epidemic_config if epidemic_config is not None else EpidemicConfig()
-        if buffer_limit is not None and config.buffer_limit is None:
-            config = dataclasses.replace(config, buffer_limit=buffer_limit)
-        return lambda node: EpidemicProtocol(config)
-    if protocol == "epidemic_receipts":
-        from repro.baselines.receipts import (
-            ReceiptEpidemicConfig,
-            ReceiptEpidemicProtocol,
-        )
-
-        receipt_config = (
-            receipts_config
-            if receipts_config is not None
-            else ReceiptEpidemicConfig()
-        )
-        if buffer_limit is not None and receipt_config.buffer_limit is None:
-            receipt_config = dataclasses.replace(
-                receipt_config, buffer_limit=buffer_limit
-            )
-        return lambda node: ReceiptEpidemicProtocol(receipt_config)
-    if protocol == "direct":
-        return lambda node: DirectDeliveryProtocol(buffer_limit=buffer_limit)
-    if protocol == "first_contact":
-        return lambda node: FirstContactProtocol(buffer_limit=buffer_limit)
-    if protocol == "spray_and_wait":
-        config = spray_config if spray_config is not None else SprayAndWaitConfig()
-        if buffer_limit is not None and config.buffer_limit is None:
-            config = dataclasses.replace(config, buffer_limit=buffer_limit)
-        return lambda node: SprayAndWaitProtocol(config)
-    raise ValueError(
-        f"unknown protocol {protocol!r}; choose from {available_protocols()}"
-    )
+        if isinstance(protocol_config, ProtocolConfig):
+            # A declarative ProtocolConfig (campaign protocol axis) must
+            # name the protocol it configures; accepting a mismatch
+            # would make it ambiguous which one a run keyed on.
+            if protocol_config.protocol != canonical:
+                raise ValueError(
+                    f"protocol config is for {protocol_config.protocol!r}, "
+                    f"but the run requests {canonical!r}"
+                )
+            return protocol_config.build()
+        return protocol_config
+    return legacy.get(canonical)
 
 
 def _build_scenario_mobility(
@@ -152,7 +140,7 @@ def build_world(
     epidemic_config: EpidemicConfig | None = None,
     spray_config: SprayAndWaitConfig | None = None,
     buffer_limit: int | None = None,
-    protocol_config: ProtocolConfig | None = None,
+    protocol_config: "ProtocolConfig | object | None" = None,
     profiler=None,
 ) -> World:
     """Assemble a world for ``scenario`` running ``protocol`` everywhere.
@@ -160,6 +148,15 @@ def build_world(
     ``profiler`` (a :class:`repro.telemetry.profile.PhaseProfiler`)
     threads into every subsystem hook; ``None`` means the shared no-op.
     """
+    canonical = resolve_protocol(protocol)
+    config = resolve_run_config(
+        canonical,
+        protocol_config,
+        glr_config,
+        epidemic_config,
+        spray_config,
+        warn=True,
+    )
     node_ids = list(range(scenario.n_nodes))
     mobility = _build_scenario_mobility(scenario, node_ids)
     world_config = WorldConfig(
@@ -175,15 +172,15 @@ def build_world(
         # up front when "vectorized" is requested without numpy.
         engine=resolve_engine(scenario.engine),
     )
-    factory = _protocol_factory(
-        protocol,
-        glr_config,
-        epidemic_config,
-        spray_config,
-        buffer_limit,
-        protocol_config=protocol_config,
+    factory = protocol_factory(
+        canonical, config=config, buffer_limit=buffer_limit
     )
-    world = World(mobility, factory, world_config, profiler=profiler)
+    adversary = build_adversary_plan(
+        scenario.adversary, node_ids, scenario.seed
+    )
+    world = World(
+        mobility, factory, world_config, profiler=profiler, adversary=adversary
+    )
     for spec in generate_workload(scenario):
         world.schedule_message(
             spec.source,
@@ -201,21 +198,27 @@ def run_single(
     epidemic_config: EpidemicConfig | None = None,
     spray_config: SprayAndWaitConfig | None = None,
     buffer_limit: int | None = None,
-    protocol_config: ProtocolConfig | None = None,
+    protocol_config: "ProtocolConfig | object | None" = None,
     profiler=None,
 ) -> SimulationMetrics:
     """Run one simulation to the scenario horizon."""
+    canonical = resolve_protocol(protocol)
+    config = resolve_run_config(
+        canonical,
+        protocol_config,
+        glr_config,
+        epidemic_config,
+        spray_config,
+        warn=True,
+    )
     world = build_world(
         scenario,
-        protocol,
-        glr_config=glr_config,
-        epidemic_config=epidemic_config,
-        spray_config=spray_config,
+        canonical,
         buffer_limit=buffer_limit,
-        protocol_config=protocol_config,
+        protocol_config=config,
         profiler=profiler,
     )
-    return world.run(until=scenario.sim_time, protocol_name=protocol)
+    return world.run(until=scenario.sim_time, protocol_name=canonical)
 
 
 def run_replicates(
@@ -242,13 +245,15 @@ def run_replicates(
     if runs < 1:
         raise ValueError("need at least one run")
     if workers == 1 and cache_dir is None:
+        canonical = resolve_protocol(protocol)
+        config = resolve_run_config(
+            canonical, None, glr_config, epidemic_config, spray_config
+        )
         return [
             run_single(
                 scenario.with_seed(replicate_seed(scenario.seed, i)),
-                protocol,
-                glr_config=glr_config,
-                epidemic_config=epidemic_config,
-                spray_config=spray_config,
+                canonical,
+                protocol_config=config,
                 buffer_limit=buffer_limit,
             )
             for i in range(runs)

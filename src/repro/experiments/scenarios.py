@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.mobility.base import Region
 from repro.mobility.registry import MobilityConfig, as_mobility_config
+from repro.sim.adversary import AdversaryConfig, as_adversary_config
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,14 @@ class Scenario:
             bit-identical, so the engine is a performance knob, not a
             modelling one; it is sweepable (``--engines``) for
             cross-checking exactly that.
+        adversary: Byzantine adversary in force
+            (:class:`~repro.sim.adversary.AdversaryConfig`; strings
+            like ``"blackhole:0.2"`` and mappings are coerced).
+            ``None`` — the default — is the honest world; a zero
+            fraction coerces to ``None`` so "no adversary" has exactly
+            one spelling in cache keys and spec hashes.  Which nodes
+            are compromised derives from the scenario seed, so all
+            execution strategies select the same set.
     """
 
     name: str = "paper-default"
@@ -69,6 +78,7 @@ class Scenario:
     seed: int = 1
     mobility: MobilityConfig | None = None
     engine: str | None = None
+    adversary: AdversaryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -108,6 +118,11 @@ class Scenario:
         # Coerce strings / mappings ("gauss-markov", {"model": ...}) so
         # sweep grids and JSON specs can name models directly.
         object.__setattr__(self, "mobility", as_mobility_config(self.mobility))
+        # Same coercion contract for the adversary axis ("blackhole:0.2",
+        # {"mode": ..., "fraction": ...}); fraction 0 normalises to None.
+        object.__setattr__(
+            self, "adversary", as_adversary_config(self.adversary)
+        )
         fields = type(self).__dataclass_fields__
         motion_defaults = tuple(
             fields[name].default

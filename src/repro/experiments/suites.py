@@ -26,6 +26,7 @@ from repro.experiments.common import BENCH_EFFORT, Effort
 from repro.experiments.protocols import ProtocolConfig
 from repro.experiments.scenarios import Scenario
 from repro.mobility.registry import MobilityConfig
+from repro.sim.adversary import AdversaryConfig
 
 #: The movement patterns the cross-mobility comparison covers: the
 #: paper's RWP plus the three registry models with default parameters.
@@ -169,6 +170,36 @@ def _suite_mobility_x_protocol(
     )
 
 
+def _suite_adversarial(
+    seed: int, replicates: int, effort: Effort
+) -> CampaignSpec:
+    """Byzantine robustness: every adversary mode at rising fractions.
+
+    The honest cell (``None``) anchors the comparison; the grid then
+    compromises 10% and 30% of the nodes with each misbehaviour so one
+    sweep shows how gracefully each protocol degrades under packet
+    sinks, probabilistic droppers, and location liars.
+    """
+    return CampaignSpec(
+        name="adversarial",
+        base=_base("adversarial", seed, effort),
+        grid=(
+            (
+                "adversary",
+                (
+                    None,
+                    AdversaryConfig.of("blackhole", 0.1),
+                    AdversaryConfig.of("blackhole", 0.3),
+                    AdversaryConfig.of("selective_drop", 0.3),
+                    AdversaryConfig.of("location_lying", 0.3),
+                ),
+            ),
+        ),
+        protocols=("glr", "epidemic", "spray_and_wait", "one_hop"),
+        replicates=replicates,
+    )
+
+
 #: Suite name -> builder(seed, replicates, effort) -> CampaignSpec.
 SUITES: dict[str, Callable[[int, int, Effort], CampaignSpec]] = {
     "paper-table1": _suite_paper_table1,
@@ -177,6 +208,7 @@ SUITES: dict[str, Callable[[int, int, Effort], CampaignSpec]] = {
     "convoy": _suite_convoy,
     "urban-grid": _suite_urban_grid,
     "mobility-x-protocol": _suite_mobility_x_protocol,
+    "adversarial": _suite_adversarial,
 }
 
 

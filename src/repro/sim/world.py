@@ -242,6 +242,7 @@ class World:
         protocol_factory: Callable[[NodeId], Protocol],
         config: WorldConfig | None = None,
         profiler=None,
+        adversary=None,
     ):
         self.config = config if config is not None else WorldConfig()
         self.mobility = mobility
@@ -268,9 +269,18 @@ class World:
         self._mac_stats: dict[NodeId, MacStats] = {}
         self._started = False
         self._message_seq: dict[NodeId, int] = {}
+        #: The adversary plan in force (an
+        #: :class:`repro.sim.adversary.AdversaryPlan`) and the wrapper
+        #: instances it installed, keyed by compromised node — honest
+        #: worlds leave both empty.
+        self.adversary = adversary
+        self.adversaries: dict[NodeId, Protocol] = {}
 
         for node in mobility.node_ids:
             protocol = protocol_factory(node)
+            if adversary is not None and node in adversary.nodes:
+                protocol = adversary.wrap(node, protocol)
+                self.adversaries[node] = protocol
             api = NodeApi(self, node)
             protocol.attach(api)
             self.protocols[node] = protocol

@@ -66,6 +66,7 @@ EVENT_TYPES = frozenset(
         "host_lost",  # a host stopped answering and was declared lost
         "shard_summary",  # per-shard end-of-run totals
         "heartbeat",  # a liveness touch, with its reason
+        "adversary",  # the campaign injects Byzantine nodes (specs)
     }
 )
 

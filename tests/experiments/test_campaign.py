@@ -23,6 +23,7 @@ from repro.experiments.campaign import (
 from repro.experiments.runner import run_replicates
 from repro.experiments.scenarios import Scenario
 from repro.mobility.registry import MobilityConfig
+from repro.sim.adversary import AdversaryConfig
 
 #: Small enough that a full grid with replicates finishes in seconds.
 TINY = Scenario(
@@ -738,3 +739,131 @@ class TestMergeCaches:
 
         with pytest.raises(ValueError, match="does not exist"):
             merge_caches(tmp_path / "u", [tmp_path / "nope"])
+
+
+class TestAdversaryAxis:
+    """Adversary injection as a campaign axis with stable cache keys."""
+
+    def _spec(self, replicates=1):
+        return CampaignSpec(
+            name="adv",
+            base=TINY,
+            grid=(
+                ("adversary", (None, "blackhole:0.25", "liar:0.25")),
+            ),
+            protocols=("epidemic",),
+            replicates=replicates,
+        )
+
+    def test_grid_values_coerced_to_configs(self):
+        spec = self._spec()
+        (field, values), = spec.grid
+        assert field == "adversary"
+        assert values[0] is None
+        assert all(
+            isinstance(v, AdversaryConfig) for v in values[1:]
+        )
+        names = [s.name for s in spec.scenarios()]
+        assert names == [
+            "adv/adversary=none",
+            "adv/adversary=blackhole:0.25",
+            "adv/adversary=location_lying:0.25",
+        ]
+
+    def test_adversary_is_cache_relevant(self):
+        base = ReplicateTask(TINY, "epidemic", 0)
+        keys = {
+            task_key(
+                ReplicateTask(TINY.but(adversary=a), "epidemic", 0)
+            )
+            for a in (
+                "blackhole:0.1",
+                "blackhole:0.3",
+                "selective_drop:0.3",
+                AdversaryConfig.of("selective_drop", 0.3, drop_rate=0.9),
+            )
+        }
+        keys.add(task_key(base))
+        assert len(keys) == 5
+
+    def test_honest_cell_keys_like_pre_axis_tasks(self):
+        # fraction=0 and "no adversary" are the same spelling: honest
+        # tasks must hit caches written before the axis existed.
+        honest = ReplicateTask(
+            TINY.but(adversary="blackhole:0"), "epidemic", 0
+        )
+        assert task_key(honest) == task_key(
+            ReplicateTask(TINY, "epidemic", 0)
+        )
+        assert "adversary" not in task_payload(honest)["scenario"]
+
+    def test_equivalent_forms_share_a_key(self):
+        a = ReplicateTask(TINY.but(adversary="greyhole:0.25"), "epidemic", 0)
+        b = ReplicateTask(
+            TINY.but(adversary={"mode": "selective_drop", "fraction": 0.25}),
+            "epidemic",
+            0,
+        )
+        assert task_key(a) == task_key(b)
+        payload = task_payload(a)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_parallel_matches_serial_across_cells(self):
+        spec = self._spec()
+        serial = run_campaign(spec, workers=1)
+        parallel = run_campaign(spec, workers=3)
+        assert set(serial.metrics) == set(parallel.metrics)
+        assert len(serial.metrics) == 3
+        for cell in serial.metrics:
+            for s, p in zip(serial.metrics[cell], parallel.metrics[cell]):
+                assert metrics_fingerprint(s) == metrics_fingerprint(p)
+
+    def test_cache_resume_is_bit_identical(self, tmp_path):
+        spec = self._spec()
+        cold = run_campaign(spec, workers=2, cache_dir=tmp_path)
+        assert cold.cache_misses == 3 and cold.cache_hits == 0
+        resumed = run_campaign(spec, workers=2, cache_dir=tmp_path)
+        assert resumed.cache_hits == 3 and resumed.cache_misses == 0
+        for cell in cold.metrics:
+            for a, b in zip(cold.metrics[cell], resumed.metrics[cell]):
+                assert metrics_fingerprint(a) == metrics_fingerprint(b)
+
+    def test_duplicate_specs_rejected_across_forms(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(
+                name="dup",
+                base=TINY,
+                grid=(
+                    ("adversary", ("greyhole:0.2", "selective_drop:0.2")),
+                ),
+            )
+
+    def test_dict_round_trip_with_adversary(self):
+        spec = CampaignSpec(
+            name="rt",
+            base=TINY.but(adversary="blackhole:0.2"),
+            grid=(
+                (
+                    "adversary",
+                    (
+                        None,
+                        AdversaryConfig.of(
+                            "selective_drop", 0.3, drop_rate=0.9
+                        ),
+                    ),
+                ),
+            ),
+            protocols=("epidemic",),
+            replicates=2,
+        )
+        document = json.loads(json.dumps(spec.to_dict()))
+        assert CampaignSpec.from_dict(document) == spec
+
+    def test_delivery_degrades_across_the_axis(self):
+        result = run_campaign(self._spec(), workers=3)
+        by_cell = {
+            scenario: summary.delivery_ratio.mean
+            for (scenario, _), summary in result.summaries().items()
+        }
+        honest = by_cell["adv/adversary=none"]
+        assert by_cell["adv/adversary=blackhole:0.25"] < honest

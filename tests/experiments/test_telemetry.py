@@ -59,6 +59,7 @@ class TestEventSchema:
         "host_lost": {"why": "vanished", "remaining": 1},
         "shard_summary": {"requeues": 1, "recorded": 4, "state": "done"},
         "heartbeat": {"reason": "task-done"},
+        "adversary": {"specs": ["blackhole:0.2", "location_lying:0.3"]},
     }
 
     def test_payload_fixture_covers_every_type(self):
