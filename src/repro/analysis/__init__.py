@@ -8,6 +8,17 @@ package reproduces that methodology:
 - :mod:`repro.analysis.aggregate` — multi-run metric aggregation.
 - :mod:`repro.analysis.render` — ASCII tables and series, formatted to
   read like the paper's tables/figure data.
+
+On top of those sit the trade-off layer (imported lazily — not from
+this package — because its modules import the campaign engine, which
+imports this package):
+
+- :mod:`repro.analysis.store` — queryable result store over campaign
+  metrics streams and run directories.
+- :mod:`repro.analysis.tradeoff` — Pareto frontiers, bootstrap-CI
+  rankings, dominance and regret.
+- :mod:`repro.analysis.report` — the ``repro report`` markdown/HTML
+  renderer.
 """
 
 from repro.analysis.aggregate import MetricSummary, summarize_metrics

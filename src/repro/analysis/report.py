@@ -1,0 +1,425 @@
+"""Self-contained trade-off reports over a campaign's results.
+
+The rendered artifact of the analysis stack: `repro report RUN_DIR`
+(or a merged stream) builds a :class:`~repro.analysis.store.ResultStore`
+and emits one document — markdown or a dependency-free single-file HTML
+page — holding:
+
+- the campaign overview (spec identity, grid shape, coverage);
+- per-scenario **Pareto frontier** tables over
+  (delivery ratio, latency, storage);
+- per-scenario protocol **rankings** with bootstrap CIs, and a
+  rank matrix per objective;
+- cross-scenario **dominance and worst-case regret** summaries;
+- per-axis **trade-off curves** (metric vs each swept grid axis, one
+  column per protocol) when the campaign has a grid.
+
+Rendering is deterministic: same stream in, same bytes out (bootstrap
+resampling is seeded), so reports can be diffed, committed, and
+asserted on in CI.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from dataclasses import dataclass, field
+
+from repro.analysis.store import Query, ResultStore, axis_table
+from repro.analysis.tradeoff import (
+    OBJECTIVES,
+    dominance_counts,
+    regret_table,
+    scenario_frontiers,
+    scenario_rankings,
+)
+
+#: Grid axes rendered as trade-off curves (metric vs axis value).
+CURVE_METRICS = tuple(name for name, _ in OBJECTIVES)
+
+
+@dataclass(frozen=True)
+class Table:
+    """One rendered table: caption, header row, body rows."""
+
+    caption: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+
+
+@dataclass(frozen=True)
+class Section:
+    """One report section: heading, prose paragraphs, tables."""
+
+    title: str
+    paragraphs: tuple[str, ...] = ()
+    tables: tuple[Table, ...] = field(default_factory=tuple)
+
+
+def _fmt(value: object, digits: int = 3) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _fmt_interval(mean: float, low: float, high: float) -> str:
+    return f"{mean:.3f} [{low:.3f}, {high:.3f}]"
+
+
+def build_sections(
+    store: ResultStore,
+    resamples: int = 1000,
+    seed: int = 1,
+    query: Query | None = None,
+) -> list[Section]:
+    """The report's content, structured and renderer-agnostic.
+
+    ``query`` restricts the report to a filtered cell set (the CLI's
+    ``--scenario/--protocol/--mobility/--adversary`` flags); ``None``
+    reports the whole grid.  ``resamples``/``seed`` parameterise the
+    bootstrap used for ranking CIs; everything else is a pure function
+    of the selected records.
+    """
+    spec = store.spec
+    if query is None:
+        query = store.select()
+    result = query.result()
+    summaries = result.summaries()
+    sections: list[Section] = []
+
+    # -- overview -------------------------------------------------------
+    expected = len(query.cells) * spec.replicates
+    recorded = len(query.records())
+    coverage = (
+        f"{recorded}/{expected} task records "
+        f"({len(result.metrics)}/{len(query.cells)} cells with data)"
+    )
+    overview = [
+        f"Campaign **{spec.name}** — spec hash `{store.spec_hash[:12]}`.",
+        f"{len(query.scenarios())} scenario(s) x "
+        f"{len(query.protocols())} protocol variant(s) x "
+        f"{spec.replicates} replicate(s); coverage: {coverage}.",
+    ]
+    if store.damaged:
+        overview.append(
+            f"Warning: {store.damaged} undecodable stream line(s) were "
+            f"skipped; those tasks are missing from every number below."
+        )
+    sections.append(Section(title="Overview", paragraphs=tuple(overview)))
+
+    # -- Pareto frontiers ----------------------------------------------
+    frontiers = scenario_frontiers(summaries)
+    frontier_tables = []
+    for scenario in query.scenarios():
+        points = frontiers.get(scenario)
+        if not points:
+            continue
+        on_frontier = sum(1 for _, keep in points if keep)
+        rows = tuple(
+            (
+                point.protocol,
+                _fmt(point.delivery_ratio),
+                _fmt(point.latency, digits=2),
+                _fmt(point.storage, digits=2),
+                str(point.runs),
+                "yes" if keep else "",
+            )
+            for point, keep in points
+        )
+        frontier_tables.append(
+            Table(
+                caption=(
+                    f"{scenario} — Pareto frontier: {on_frontier} of "
+                    f"{len(points)} protocol(s)"
+                ),
+                headers=(
+                    "protocol", "delivery_ratio", "latency_s",
+                    "avg_peak_storage", "runs", "frontier",
+                ),
+                rows=rows,
+            )
+        )
+    sections.append(
+        Section(
+            title="Pareto frontiers (delivery up, latency down, storage down)",
+            paragraphs=(
+                "A protocol is on a scenario's frontier when no other "
+                "protocol is at least as good on all three objectives "
+                "and strictly better on one.  Undelivered latency "
+                "(`n/a`) counts as infinitely bad.",
+            ),
+            tables=tuple(frontier_tables),
+        )
+    )
+
+    # -- rankings -------------------------------------------------------
+    rank_tables = []
+    scenario_order = query.scenarios()
+    protocol_order = query.protocols()
+    for metric, higher in OBJECTIVES:
+        values = {
+            cell: runs
+            for cell, runs in query.values(metric).items()
+        }
+        rankings = scenario_rankings(
+            values,
+            higher_is_better=higher,
+            resamples=resamples,
+            seed=seed,
+        )
+        matrix_rows = []
+        for scenario in scenario_order:
+            ranked = rankings.get(scenario)
+            if not ranked:
+                continue
+            by_protocol = {r.protocol: r for r in ranked}
+            matrix_rows.append(
+                (scenario,)
+                + tuple(
+                    str(by_protocol[label].rank)
+                    if label in by_protocol
+                    else "-"
+                    for label in protocol_order
+                )
+            )
+        direction = "higher is better" if higher else "lower is better"
+        rank_tables.append(
+            Table(
+                caption=f"Rank matrix — {metric} ({direction})",
+                headers=("scenario",) + tuple(protocol_order),
+                rows=tuple(matrix_rows),
+            )
+        )
+    # Per-scenario detail with bootstrap CIs for the headline metric.
+    detail_rows = []
+    delivery_rankings = scenario_rankings(
+        query.values("delivery_ratio"),
+        higher_is_better=True,
+        resamples=resamples,
+        seed=seed,
+    )
+    for scenario in scenario_order:
+        for entry in delivery_rankings.get(scenario, []):
+            detail_rows.append(
+                (
+                    scenario,
+                    str(entry.rank),
+                    entry.protocol,
+                    _fmt_interval(entry.mean, entry.low, entry.high),
+                    str(entry.n),
+                )
+            )
+    rank_tables.append(
+        Table(
+            caption=(
+                "Delivery-ratio ranking detail "
+                "(mean [90% bootstrap interval])"
+            ),
+            headers=("scenario", "rank", "protocol",
+                     "delivery_ratio", "runs"),
+            rows=tuple(detail_rows),
+        )
+    )
+    sections.append(
+        Section(
+            title="Protocol rankings",
+            paragraphs=(
+                f"Ranks are per scenario and per objective (competition "
+                f"ranking; ties share a rank).  Intervals are 90% "
+                f"percentile bootstrap over {resamples} seeded "
+                f"resamples.",
+            ),
+            tables=tuple(rank_tables),
+        )
+    )
+
+    # -- dominance and regret ------------------------------------------
+    counts = dominance_counts(frontiers)
+    regrets = regret_table(summaries)
+    summary_rows = []
+    for label in protocol_order:
+        if label not in counts:
+            continue
+        on, total = counts[label]
+        regret = regrets.get(label, {})
+        summary_rows.append(
+            (
+                label,
+                f"{on}/{total}",
+                _fmt(regret.get("delivery_ratio")),
+                _fmt(regret.get("average_latency"), digits=2),
+                _fmt(regret.get("average_peak_storage"), digits=2),
+            )
+        )
+    sections.append(
+        Section(
+            title="Dominance and worst-case regret",
+            paragraphs=(
+                "`frontier` counts the scenarios where the protocol is "
+                "Pareto-optimal.  Regret columns give the largest gap "
+                "to the per-scenario best mean, in the metric's own "
+                "units (`n/a`: the protocol delivered nothing in some "
+                "scenario, making its latency regret unbounded).",
+            ),
+            tables=(
+                Table(
+                    caption="Cross-scenario summary",
+                    headers=(
+                        "protocol", "frontier",
+                        "max regret delivery_ratio",
+                        "max regret latency_s",
+                        "max regret avg_peak_storage",
+                    ),
+                    rows=tuple(summary_rows),
+                ),
+            ),
+        )
+    )
+
+    # -- per-axis trade-off curves -------------------------------------
+    curve_tables = []
+    metrics_by_cell = query.metrics_by_cell()
+    for fname, axis_values in spec.grid:
+        if len(axis_values) < 2:
+            continue
+        for metric in CURVE_METRICS:
+            values, series = axis_table(
+                list(query.cells), metrics_by_cell, fname, metric
+            )
+            if not values or not series:
+                continue
+            rows = tuple(
+                (_fmt(value, digits=2),)
+                + tuple(
+                    _fmt(series[label][i], digits=3)
+                    for label in series
+                )
+                for i, value in enumerate(values)
+            )
+            curve_tables.append(
+                Table(
+                    caption=f"{metric} vs {fname}",
+                    headers=(fname,) + tuple(series),
+                    rows=rows,
+                )
+            )
+    if curve_tables:
+        note = (
+            "Mean of each metric at every axis value, one column per "
+            "protocol."
+        )
+        if len(spec.grid) > 1:
+            note += (
+                "  With multiple grid axes the mean marginalises over "
+                "the other axes."
+            )
+        sections.append(
+            Section(
+                title="Trade-off curves",
+                paragraphs=(note,),
+                tables=tuple(curve_tables),
+            )
+        )
+    return sections
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+# ---------------------------------------------------------------------------
+
+
+def render_markdown(title: str, sections: list[Section]) -> str:
+    """The report as one self-contained markdown document."""
+    lines = [f"# {title}", ""]
+    for section in sections:
+        lines.append(f"## {section.title}")
+        lines.append("")
+        for paragraph in section.paragraphs:
+            lines.append(paragraph)
+            lines.append("")
+        for table in section.tables:
+            lines.append(f"**{table.caption}**")
+            lines.append("")
+            lines.append("| " + " | ".join(table.headers) + " |")
+            lines.append("|" + "|".join(" --- " for _ in table.headers) + "|")
+            for row in table.rows:
+                lines.append("| " + " | ".join(row) + " |")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_HTML_STYLE = """
+body { font-family: sans-serif; margin: 2rem auto; max-width: 60rem;
+       color: #1a1a1a; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; }
+table { border-collapse: collapse; margin: .7rem 0 1.4rem; }
+caption { caption-side: top; text-align: left; font-weight: bold;
+          padding: .3rem 0; }
+th, td { border: 1px solid #bbb; padding: .25rem .6rem;
+         text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+code { background: #f2f2f2; padding: 0 .2rem; }
+""".strip()
+
+
+def render_html(title: str, sections: list[Section]) -> str:
+    """The report as one dependency-free, self-contained HTML page."""
+    esc = _html.escape
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(title)}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{esc(title)}</h1>",
+    ]
+    for section in sections:
+        parts.append(f"<h2>{esc(section.title)}</h2>")
+        for paragraph in section.paragraphs:
+            parts.append(f"<p>{esc(paragraph)}</p>")
+        for table in section.tables:
+            parts.append("<table>")
+            parts.append(f"<caption>{esc(table.caption)}</caption>")
+            parts.append(
+                "<tr>"
+                + "".join(f"<th>{esc(h)}</th>" for h in table.headers)
+                + "</tr>"
+            )
+            for row in table.rows:
+                parts.append(
+                    "<tr>"
+                    + "".join(f"<td>{esc(cell)}</td>" for cell in row)
+                    + "</tr>"
+                )
+            parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def generate_report(
+    store: ResultStore,
+    fmt: str = "markdown",
+    resamples: int = 1000,
+    seed: int = 1,
+    query: Query | None = None,
+) -> str:
+    """Build and render a full trade-off report for ``store``.
+
+    ``fmt`` is ``"markdown"`` or ``"html"``; raises
+    :class:`ValueError` for anything else.  ``query`` restricts the
+    report to a filtered cell set.  Deterministic for a given
+    (store contents, filters, resamples, seed).
+    """
+    title = f"Trade-off report — campaign {store.spec.name}"
+    sections = build_sections(
+        store, resamples=resamples, seed=seed, query=query
+    )
+    if fmt == "markdown":
+        return render_markdown(title, sections)
+    if fmt == "html":
+        return render_html(title, sections)
+    raise ValueError(
+        f"unknown report format {fmt!r}; choose 'markdown' or 'html'"
+    )

@@ -1,0 +1,312 @@
+"""Multi-objective trade-off analysis over campaign grids.
+
+The paper's GLR-vs-epidemic comparison is fundamentally a
+delivery/latency/storage trade-off: epidemic buys delivery with
+storage, GLR buys storage with latency.  Following the DTN trade-off
+white paper (arXiv 2009.03741), this module reads a campaign grid as a
+multi-objective problem instead of a stack of single-metric tables:
+
+- :func:`pareto_frontier` — the non-dominated protocol set of one
+  scenario cell over (delivery ratio up, latency down, storage down);
+- :func:`rank_protocols` / :func:`scenario_rankings` — per-scenario
+  protocol rankings on one metric, with bootstrap confidence intervals
+  (the replicate counts are far too small for normality assumptions to
+  be the only offer);
+- :func:`dominance_counts` / :func:`regret_table` — cross-scenario
+  summaries: how often each protocol is Pareto-optimal, and how far it
+  falls behind the per-cell best in the worst case.
+
+Everything is deterministic: bootstrap resampling is seeded, and all
+orderings derive from the spec's sweep order or lexicographic protocol
+names.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.aggregate import MetricSummary
+
+#: The three trade-off objectives, as (name, higher_is_better) pairs.
+#: Latency and storage are costs; delivery is the benefit.
+OBJECTIVES: tuple[tuple[str, bool], ...] = (
+    ("delivery_ratio", True),
+    ("average_latency", False),
+    ("average_peak_storage", False),
+)
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One protocol's position in a scenario's objective space.
+
+    ``latency`` is ``None`` when no replicate delivered anything —
+    treated as *infinitely bad* by dominance (an undelivered message
+    has unbounded latency), so a protocol cannot reach the frontier on
+    the strength of never delivering.
+    """
+
+    protocol: str
+    delivery_ratio: float
+    latency: float | None
+    storage: float
+    runs: int
+
+    def objectives(self) -> tuple[float, float, float]:
+        """The point as a minimisation vector (lower is better)."""
+        latency = math.inf if self.latency is None else self.latency
+        return (-self.delivery_ratio, latency, self.storage)
+
+
+def point_from_summary(summary: MetricSummary) -> TradeoffPoint:
+    """A cell summary's mean vector as a :class:`TradeoffPoint`."""
+    return TradeoffPoint(
+        protocol=summary.protocol,
+        delivery_ratio=summary.delivery_ratio.mean,
+        latency=(
+            summary.average_latency.mean
+            if summary.average_latency is not None
+            else None
+        ),
+        storage=summary.average_peak_storage.mean,
+        runs=summary.runs,
+    )
+
+
+def dominates(a: TradeoffPoint, b: TradeoffPoint) -> bool:
+    """True when ``a`` is at least as good as ``b`` everywhere and
+    strictly better somewhere.  Identical objective vectors tie —
+    neither dominates — so ties survive to the frontier together."""
+    va, vb = a.objectives(), b.objectives()
+    return all(x <= y for x, y in zip(va, vb)) and va != vb
+
+
+def pareto_frontier(
+    points: Sequence[TradeoffPoint],
+) -> list[TradeoffPoint]:
+    """The non-dominated subset of ``points``, in input order.
+
+    A single point is trivially its own frontier; exact objective ties
+    all stay (dropping one of two indistinguishable protocols would
+    invent a preference the data does not express).
+    """
+    return [
+        p
+        for p in points
+        if not any(dominates(other, p) for other in points)
+    ]
+
+
+def scenario_frontiers(
+    summaries: Mapping[tuple[str, str], MetricSummary],
+) -> dict[str, list[tuple[TradeoffPoint, bool]]]:
+    """Per-scenario objective points with their frontier membership.
+
+    ``summaries`` is keyed ``(scenario name, protocol label)`` as the
+    aggregation layer emits it; the result maps each scenario to its
+    protocols' points (in input order) tagged ``True`` when
+    Pareto-optimal within that scenario.
+    """
+    by_scenario: dict[str, list[TradeoffPoint]] = {}
+    for (scenario, _), summary in summaries.items():
+        by_scenario.setdefault(scenario, []).append(
+            point_from_summary(summary)
+        )
+    out: dict[str, list[tuple[TradeoffPoint, bool]]] = {}
+    for scenario, points in by_scenario.items():
+        frontier = {id(p) for p in pareto_frontier(points)}
+        out[scenario] = [(p, id(p) in frontier) for p in points]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Bootstrap rankings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolRank:
+    """One protocol's rank on one metric, with a bootstrap CI."""
+
+    rank: int
+    protocol: str
+    mean: float
+    #: 90% percentile-bootstrap interval of the mean.
+    low: float
+    high: float
+    n: int
+
+
+def bootstrap_mean_interval(
+    samples: Sequence[float],
+    resamples: int = 1000,
+    seed: int = 1,
+) -> tuple[float, float]:
+    """90% percentile-bootstrap interval of the sample mean.
+
+    Deterministic for a given ``seed``.  A single sample yields a
+    zero-width interval (nothing to resample), mirroring the Student-t
+    path in :mod:`repro.analysis.ci`.
+    """
+    if not samples:
+        raise ValueError("cannot bootstrap an empty sample")
+    if resamples < 1:
+        raise ValueError("need at least one resample")
+    n = len(samples)
+    if n == 1:
+        return (samples[0], samples[0])
+    rng = random.Random(seed)
+    means = sorted(
+        sum(samples[rng.randrange(n)] for _ in range(n)) / n
+        for _ in range(resamples)
+    )
+    low_index = round(0.05 * (resamples - 1))
+    high_index = round(0.95 * (resamples - 1))
+    return (means[low_index], means[high_index])
+
+
+def rank_protocols(
+    samples_by_protocol: Mapping[str, Sequence[float]],
+    higher_is_better: bool = True,
+    resamples: int = 1000,
+    seed: int = 1,
+) -> list[ProtocolRank]:
+    """Rank protocols by mean of one metric, with bootstrap CIs.
+
+    Ranks are 1-based, ordered best-first; exact mean ties share a rank
+    (standard competition ranking: two protocols tied at rank 1 push
+    the next to rank 3) and order lexicographically for display.  Each
+    protocol's bootstrap stream is seeded from ``seed`` and its
+    position in sorted name order, so rankings are reproducible
+    regardless of mapping iteration order.
+    """
+    if not samples_by_protocol:
+        raise ValueError("nothing to rank: no protocols")
+    rows = []
+    for index, (protocol, samples) in enumerate(
+        sorted(samples_by_protocol.items())
+    ):
+        samples = [float(s) for s in samples]
+        if not samples:
+            raise ValueError(f"protocol {protocol!r} has no samples")
+        mean = sum(samples) / len(samples)
+        low, high = bootstrap_mean_interval(
+            samples, resamples=resamples, seed=seed * 10007 + index
+        )
+        rows.append((protocol, mean, low, high, len(samples)))
+    rows.sort(
+        key=lambda row: (-row[1] if higher_is_better else row[1], row[0])
+    )
+    ranked: list[ProtocolRank] = []
+    for position, (protocol, mean, low, high, n) in enumerate(rows):
+        if position > 0 and mean == rows[position - 1][1]:
+            rank = ranked[-1].rank  # tie: share the better rank
+        else:
+            rank = position + 1
+        ranked.append(
+            ProtocolRank(
+                rank=rank, protocol=protocol, mean=mean,
+                low=low, high=high, n=n,
+            )
+        )
+    return ranked
+
+
+def scenario_rankings(
+    values_by_cell: Mapping[tuple[str, str], Sequence[float | None]],
+    higher_is_better: bool = True,
+    resamples: int = 1000,
+    seed: int = 1,
+) -> dict[str, list[ProtocolRank]]:
+    """Per-scenario protocol rankings over raw replicate values.
+
+    ``values_by_cell`` is keyed ``(scenario, protocol)`` (the
+    :meth:`~repro.analysis.store.Query.values` shape); ``None`` samples
+    (an optional metric with nothing delivered) are dropped, and a
+    protocol with no usable samples in a scenario is excluded from that
+    scenario's ranking rather than ranked on invented data.
+    """
+    by_scenario: dict[str, dict[str, list[float]]] = {}
+    for (scenario, protocol), values in values_by_cell.items():
+        usable = [float(v) for v in values if v is not None]
+        if usable:
+            by_scenario.setdefault(scenario, {})[protocol] = usable
+    return {
+        scenario: rank_protocols(
+            samples,
+            higher_is_better=higher_is_better,
+            resamples=resamples,
+            seed=seed,
+        )
+        for scenario, samples in by_scenario.items()
+        if samples
+    }
+
+
+# ---------------------------------------------------------------------------
+# Dominance and regret summaries
+# ---------------------------------------------------------------------------
+
+
+def dominance_counts(
+    frontiers: Mapping[str, Sequence[tuple[TradeoffPoint, bool]]],
+) -> dict[str, tuple[int, int]]:
+    """Per protocol: (scenarios where Pareto-optimal, scenarios present).
+
+    The cross-scenario robustness read: a protocol on every frontier is
+    never strictly worse than an alternative on all three objectives at
+    once, anywhere in the grid.
+    """
+    counts: dict[str, list[int]] = {}
+    for points in frontiers.values():
+        for point, on_frontier in points:
+            entry = counts.setdefault(point.protocol, [0, 0])
+            entry[0] += 1 if on_frontier else 0
+            entry[1] += 1
+    return {
+        protocol: (on, total) for protocol, (on, total) in counts.items()
+    }
+
+
+def regret_table(
+    summaries: Mapping[tuple[str, str], MetricSummary],
+) -> dict[str, dict[str, float | None]]:
+    """Worst-case regret per protocol and objective, across scenarios.
+
+    Regret in a scenario is the gap to that scenario's best mean
+    (best − value for delivery ratio; value − best for the cost
+    objectives), in the metric's own units; the table keeps each
+    protocol's maximum over all scenarios it appears in.  ``None``
+    marks latency regret for a protocol that delivered nothing in some
+    scenario (no finite latency there, so its worst case is unbounded)
+    — worse than any number, and reported as such rather than faked.
+    """
+    by_scenario: dict[str, list[MetricSummary]] = {}
+    for (scenario, _), summary in summaries.items():
+        by_scenario.setdefault(scenario, []).append(summary)
+    worst: dict[str, dict[str, float | None]] = {}
+    for cell_summaries in by_scenario.values():
+        for name, higher in OBJECTIVES:
+            values = {}
+            for summary in cell_summaries:
+                interval = getattr(summary, name)
+                values[summary.protocol] = (
+                    interval.mean if interval is not None else None
+                )
+            finite = [v for v in values.values() if v is not None]
+            if not finite:
+                continue
+            best = max(finite) if higher else min(finite)
+            for protocol, value in values.items():
+                row = worst.setdefault(
+                    protocol, {metric: 0.0 for metric, _ in OBJECTIVES}
+                )
+                if value is None:
+                    row[name] = None  # undelivered: unbounded regret
+                elif row[name] is not None:
+                    gap = (best - value) if higher else (value - best)
+                    row[name] = max(row[name], gap)
+    return worst

@@ -124,6 +124,19 @@ def available_protocols() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def protocol_aliases(name: str) -> list[str]:
+    """Aliases resolving to ``name``, sorted (empty for most protocols).
+
+    The inverse view of the alias table, for documentation and
+    error-message surfaces; raises :class:`ValueError` for an unknown
+    protocol, like :func:`resolve_protocol`.
+    """
+    canonical = resolve_protocol(name)
+    return sorted(
+        alias for alias, target in _ALIASES.items() if target == canonical
+    )
+
+
 def resolve_protocol(name: str) -> str:
     """Canonical registry name for ``name``; raises for unknown protocols.
 

@@ -23,6 +23,10 @@ Subcommands:
   is a one-shot health report of a run directory (per-shard progress,
   heartbeat staleness, supervision counts — from files alone);
   ``campaign events`` prints the run's structured event log.
+- ``report`` — render a self-contained trade-off report (Pareto
+  frontiers, bootstrap-CI rankings, dominance/regret, per-axis curves)
+  from a run directory or merged stream, as markdown or single-file
+  HTML.
 - ``list`` — enumerate available experiments and protocols.
 
 Examples::
@@ -53,6 +57,9 @@ Examples::
         --shard-index 0 --shard-count 2 --cache-dir CACHE
     repro campaign merge --out merged.jsonl shard0.jsonl shard1.jsonl
     repro campaign aggregate --stream merged.jsonl
+    repro report RUNDIR
+    repro report merged.jsonl --format html --out report.html
+    repro report RUNDIR --protocol glr --adversary blackhole
 """
 
 from __future__ import annotations
@@ -574,6 +581,63 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     camp_p.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress"
+    )
+
+    report_p = sub.add_parser(
+        "report",
+        help="render a self-contained trade-off report (Pareto "
+        "frontiers, bootstrap-CI rankings, regret, per-axis curves) "
+        "from a run directory or metrics stream",
+    )
+    report_p.add_argument(
+        "path",
+        help="orchestrator run directory, or a (merged or shard) "
+        "metrics stream file",
+    )
+    report_p.add_argument(
+        "--format",
+        default="markdown",
+        choices=("markdown", "html"),
+        help="output format (default: markdown; html is a single "
+        "self-contained page)",
+    )
+    report_p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the report here instead of stdout",
+    )
+    report_p.add_argument(
+        "--scenario",
+        default=None,
+        help="only cells whose scenario name equals or contains this "
+        "(e.g. 'radius=100')",
+    )
+    report_p.add_argument(
+        "--protocol",
+        default=None,
+        help="only this protocol (registry name/alias, or an exact "
+        "variant label like 'glr(custody=False)')",
+    )
+    report_p.add_argument(
+        "--mobility",
+        default=None,
+        help="only cells under this mobility model "
+        "(random_waypoint for the paper's default)",
+    )
+    report_p.add_argument(
+        "--adversary",
+        default=None,
+        metavar="MODE[:FRACTION]",
+        help="only cells under this adversary ('none' for honest "
+        "cells; a bare mode matches every fraction)",
+    )
+    report_p.add_argument(
+        "--resamples",
+        type=int,
+        default=1000,
+        help="bootstrap resamples behind the ranking intervals "
+        "(default: 1000; seeded, so reports are deterministic)",
     )
 
     sub.add_parser("list", help="list experiments and protocols")
@@ -1518,6 +1582,58 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a trade-off report from a run dir or metrics stream."""
+    # Imported here, not at module top: the analysis stack imports the
+    # campaign engine, and most CLI invocations never need it.
+    from repro.analysis.report import generate_report
+    from repro.analysis.store import ResultStore
+
+    if args.resamples < 1:
+        raise ValueError("--resamples must be >= 1")
+    store = ResultStore.open(args.path)
+    query = store.select(
+        scenario=args.scenario,
+        protocol=args.protocol,
+        mobility=args.mobility,
+        adversary=args.adversary,
+    )
+    if not query.cells:
+        raise ValueError(
+            "the filters match no cells of this campaign; "
+            f"scenarios: {store.scenarios()[:5]}..., "
+            f"protocols: {store.protocols()}"
+        )
+    document = generate_report(
+        store,
+        fmt=args.format,
+        resamples=args.resamples,
+        query=query,
+    )
+    if args.out is not None:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(document, encoding="utf-8")
+        print(f"report ({args.format}) -> {out}")
+    else:
+        print(document, end="")
+
+    target = Path(args.path)
+    if target.is_dir():
+        # A run dir carries the campaign's event log; the report is a
+        # supervision-grade fact (what was served, from which records),
+        # so it joins the same durable history.
+        EventLog(RunLayout(target).events, origin="report").emit(
+            "report",
+            msg=f"trade-off report ({args.format})",
+            format=args.format,
+            out=str(args.out) if args.out else None,
+            cells=len(query.cells),
+            records=len(query.records()),
+        )
+    return 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print("experiments:")
     for name in sorted(EXPERIMENTS):
@@ -1553,6 +1669,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "list":
             return _cmd_list(args)
     except BrokenPipeError:

@@ -1052,6 +1052,37 @@ def run_campaign(
     of polling forever as an orphan (``None``: wait indefinitely).
     Requires ``stream_path`` and conflicts with
     ``shard_index``/``shard_count``.
+
+    Args:
+        spec: the validated campaign (grid x protocols x replicates).
+        workers: process-pool size for replicate simulations (1 =
+            in-process serial execution).
+        cache_dir: opt-in cross-campaign per-task result cache.
+        progress: callback invoked per finished task.
+        stream_path: JSONL metrics stream to append to and resume from.
+        shard_index / shard_count: run only this hash-partitioned
+            shard of the task set (both or neither; needs
+            ``stream_path``).
+        tasks_file: scheduler assignment file naming the exact task
+            keys to run (the stealing orchestrator's worker mode).
+        wait_interval: seconds between assignment-file polls while idle.
+        wait_timeout: idle seconds on an untouched, unclosed assignment
+            file before giving up (``None``: wait forever).
+        on_wait: callback invoked once per idle poll.
+
+    Returns:
+        The aggregated :class:`CampaignResult`.  With ``stream_path``
+        it is rebuilt from the stream (the source of truth), so cached,
+        resumed, and freshly-run tasks are indistinguishable in it.
+
+    Raises:
+        ValueError: conflicting arguments (``tasks_file`` with shard
+            args, shard args without ``stream_path``, or half a shard
+            pair).
+        StreamError: ``stream_path`` exists but is not this campaign's
+            stream (bad header or mismatched spec hash).
+        repro.experiments.scheduler.AssignmentIdleTimeout: the
+            ``tasks_file`` supervisor went quiet past ``wait_timeout``.
     """
     if tasks_file is not None:
         if shard_index is not None or shard_count is not None:

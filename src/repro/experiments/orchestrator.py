@@ -545,6 +545,34 @@ def orchestrate_campaign(
     path a genuinely unreachable host (repeated transport errors)
     takes too.  Mid-campaign joins are read from ``hosts.json`` in the
     run dir (``{"join": ["store:/tmp/h3", ...]}``, append-only).
+
+    Args:
+        spec: the validated campaign to fan out.
+        shards: local shard-worker count (exactly one of ``shards`` /
+            ``hosts``).
+        run_dir: run directory (default: ``orchestrated-<name>``).
+        workers_per_shard: process-pool size inside each worker.
+        cache_dir: opt-in cross-campaign task cache shared by workers.
+        poll_interval / stall_timeout / max_attempts / max_concurrent:
+            supervision knobs (see above).
+        on_event: callback for supervision events (launch, requeue,
+            steal, ...); the CLI prints them, telemetry records them.
+        scheduler: ``"static"`` or ``"stealing"``.
+        lease_batch / steal_threshold: stealing-scheduler tuning.
+        chaos_*: fault injection for tests and CI.
+        hosts: transports (or spec strings) for cross-machine mode.
+
+    Returns:
+        An :class:`OrchestratorResult`: the aggregated
+        :class:`~repro.experiments.campaign.CampaignResult`, the merged
+        stream path, and per-shard launch/steal statistics.
+
+    Raises:
+        ValueError: conflicting arguments (``hosts`` with ``shards``,
+            per-shard chaos in hosts mode, unknown ``scheduler``).
+        OrchestratorError: a shard exhausted ``max_attempts``, a
+            transport failed permanently, or the merged stream does not
+            cover the campaign (the CLI maps this to exit code 3).
     """
     transports: dict[int, Transport] | None = None
     if hosts is not None:

@@ -448,6 +448,70 @@ def union_records(infos: Sequence[StreamInfo]) -> list[dict]:
     return sorted(by_key.values(), key=_record_sort_key)
 
 
+def discover_streams(path: str | Path) -> list[Path]:
+    """The stream files behind ``path``, a stream file or a run dir.
+
+    The read-side entry point shared by the result store and the
+    ``report`` CLI: a stream file stands for itself; a run directory
+    resolves through :class:`~repro.experiments.layout.RunLayout` to
+    its merged stream when one exists (the orchestrator wrote it at
+    collection), else to every non-empty shard stream (a mid-run or
+    uncollected dir).  Raises :class:`StreamError` when the directory
+    holds no stream data at all, and for a missing file path.
+    """
+    target = Path(path)
+    if target.is_dir():
+        from repro.experiments.layout import RunLayout
+
+        layout = RunLayout(target)
+        merged = layout.merged_stream
+        if merged.exists() and merged.stat().st_size > 0:
+            return [merged]
+        shards = [
+            p for p in layout.shard_streams() if p.stat().st_size > 0
+        ]
+        if not shards:
+            raise StreamError(
+                f"run directory {target} holds no campaign streams "
+                f"(no {layout.merged_name()}, no non-empty "
+                f"{RunLayout.STREAM_GLOB})"
+            )
+        return shards
+    if not target.exists():
+        raise StreamError(f"no stream file or run directory at {target}")
+    return [target]
+
+
+def load_union(
+    paths: Sequence[str | Path],
+    expected_spec_hash: str | None = None,
+) -> StreamInfo:
+    """Load and union several streams without writing anything.
+
+    The in-memory counterpart of :func:`merge_streams` for read-only
+    consumers (the result store, one-shot reports): every input is
+    loaded with ``quarantine=False`` — a live writer may be mid-append
+    — and deduplicated through :func:`union_records`, so the returned
+    record list is exactly what a :func:`merge_streams` output file
+    would hold.  The returned info's ``path`` is the first input and
+    its ``quarantined`` count sums undecodable lines across all inputs
+    (those tasks are missing from the union).
+    """
+    if not paths:
+        raise StreamError("nothing to load: no input streams")
+    infos = [
+        load_stream(p, expected_spec_hash=expected_spec_hash,
+                    quarantine=False)
+        for p in paths
+    ]
+    return StreamInfo(
+        path=infos[0].path,
+        header=infos[0].header,
+        records=union_records(infos),
+        quarantined=sum(info.quarantined for info in infos),
+    )
+
+
 def merge_streams(
     out_path: str | Path, in_paths: Sequence[str | Path]
 ) -> StreamInfo:

@@ -67,6 +67,7 @@ EVENT_TYPES = frozenset(
         "shard_summary",  # per-shard end-of-run totals
         "heartbeat",  # a liveness touch, with its reason
         "adversary",  # the campaign injects Byzantine nodes (specs)
+        "report",  # a trade-off report was generated from the run dir
     }
 )
 

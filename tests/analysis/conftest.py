@@ -1,0 +1,62 @@
+"""Shared fixtures for the trade-off analysis layer.
+
+One tiny streamed campaign (2 adversary cells x 2 protocols x 2
+replicates = 8 simulations) backs the store, report, and CLI tests;
+it runs once per session.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.experiments.scenarios import Scenario
+
+#: Small enough that the full streamed grid finishes in seconds.
+TINY = Scenario(
+    name="tiny",
+    n_nodes=12,
+    active_nodes=6,
+    radius=150.0,
+    message_count=4,
+    sim_time=25.0,
+    seed=3,
+)
+
+
+def tiny_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="store-tiny",
+        base=TINY,
+        grid=(("adversary", (None, "blackhole:0.5")),),
+        protocols=("glr", "epidemic"),
+        replicates=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_stream(tmp_path_factory) -> Path:
+    """A finished tiny campaign's metrics stream."""
+    stream = tmp_path_factory.mktemp("store") / "campaign.jsonl"
+    run_campaign(tiny_spec(), stream_path=stream)
+    return stream
+
+
+@pytest.fixture(scope="session")
+def tiny_shard_dir(tmp_path_factory) -> Path:
+    """The same campaign as shard streams in a run-dir layout.
+
+    No merged ``campaign.jsonl``: ingesting the directory must fall
+    back to the shard streams and union them.
+    """
+    run_dir = tmp_path_factory.mktemp("store-shards")
+    for index in range(2):
+        run_campaign(
+            tiny_spec(),
+            stream_path=run_dir / f"shard{index}.jsonl",
+            shard_index=index,
+            shard_count=2,
+        )
+    return run_dir

@@ -1,0 +1,128 @@
+"""Tests for trade-off report rendering and the ``repro report`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.analysis.store import ResultStore
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def tiny_store(tiny_stream) -> ResultStore:
+    return ResultStore.open(tiny_stream)
+
+
+class TestMarkdown:
+    def test_report_has_frontiers_rankings_and_summaries(self, tiny_store):
+        document = generate_report(tiny_store, resamples=50)
+        assert "# Trade-off report — campaign store-tiny" in document
+        assert "Pareto frontier" in document
+        # At least one protocol is on a frontier somewhere.
+        assert "| yes |" in document
+        assert "Rank matrix — delivery_ratio" in document
+        assert "Dominance and worst-case regret" in document
+        assert "Trade-off curves" in document
+        for protocol in ("glr", "epidemic"):
+            assert protocol in document
+        assert "coverage: 8/8 task records" in document
+
+    def test_report_is_deterministic(self, tiny_store):
+        assert generate_report(tiny_store, resamples=50) == generate_report(
+            tiny_store, resamples=50
+        )
+
+    def test_filtered_report_scopes_every_section(self, tiny_store):
+        query = tiny_store.select(adversary="none")
+        document = generate_report(tiny_store, resamples=50, query=query)
+        assert "adversary=none" in document
+        assert "blackhole" not in document
+        assert "coverage: 4/4 task records" in document
+
+    def test_unknown_format_rejected(self, tiny_store):
+        with pytest.raises(ValueError, match="format"):
+            generate_report(tiny_store, fmt="pdf")
+
+
+class TestHtml:
+    def test_html_is_self_contained(self, tiny_store):
+        document = generate_report(tiny_store, fmt="html", resamples=50)
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<style>" in document
+        assert "Pareto" in document
+        # Self-contained: no external fetches.
+        assert "http://" not in document
+        assert "https://" not in document
+
+
+class TestCli:
+    def test_report_from_a_stream_file(self, tiny_stream, capsys):
+        assert main(["report", str(tiny_stream), "--resamples", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+
+    def test_report_out_file_and_html(self, tiny_stream, tmp_path, capsys):
+        out = tmp_path / "sub" / "report.html"
+        code = main(
+            [
+                "report", str(tiny_stream),
+                "--format", "html",
+                "--out", str(out),
+                "--resamples", "50",
+            ]
+        )
+        assert code == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+        assert "report (html)" in capsys.readouterr().out
+
+    def test_run_dir_report_appends_a_telemetry_event(
+        self, tiny_shard_dir, capsys
+    ):
+        assert main(
+            ["report", str(tiny_shard_dir), "--resamples", "50"]
+        ) == 0
+        events_path = tiny_shard_dir / "events.jsonl"
+        assert events_path.exists()
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        report_events = [
+            e for e in events if e.get("type") == "report"
+        ]
+        assert report_events, events
+        assert report_events[-1]["payload"]["cells"] == 4
+        assert report_events[-1]["payload"]["records"] == 8
+
+    def test_filters_thread_through(self, tiny_stream, capsys):
+        code = main(
+            [
+                "report", str(tiny_stream),
+                "--protocol", "glr",
+                "--adversary", "blackhole",
+                "--resamples", "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "glr" in out
+        assert "epidemic" not in out
+
+    def test_bad_inputs_exit_2(self, tiny_stream, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "missing.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(
+            ["report", str(tiny_stream), "--protocol", "warp_drive"]
+        ) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+        assert main(
+            ["report", str(tiny_stream), "--scenario", "no-such-cell"]
+        ) == 2
+        assert "match no cells" in capsys.readouterr().err
+        assert main(
+            ["report", str(tiny_stream), "--resamples", "0"]
+        ) == 2
+        assert "--resamples" in capsys.readouterr().err

@@ -1,0 +1,202 @@
+"""Tests for the queryable result store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.store import (
+    DEFAULT_MOBILITY,
+    QUERYABLE_METRICS,
+    ResultStore,
+    axis_table,
+)
+from repro.experiments.campaign import (
+    CampaignSpec,
+    campaign_result_from_stream,
+    run_campaign,
+)
+from repro.experiments.scenarios import Scenario
+from repro.experiments.stream import StreamError
+
+#: Matches the conftest fixture's base scenario: small and fast.
+TINY = Scenario(
+    name="tiny",
+    n_nodes=12,
+    active_nodes=6,
+    radius=150.0,
+    message_count=4,
+    sim_time=25.0,
+    seed=3,
+)
+
+
+class TestIngest:
+    def test_reingest_is_idempotent(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        first = store.records()
+        assert len(first) == 8
+        assert store.ingest(tiny_stream) == 0
+        assert store.records() == first
+
+    def test_shard_dir_unions_to_the_same_records(
+        self, tiny_stream, tiny_shard_dir
+    ):
+        merged = ResultStore.open(tiny_stream)
+        sharded = ResultStore.open(tiny_shard_dir)
+
+        def identity(records):
+            # wall_time_s differs between executions; everything the
+            # analysis layer reads must not.
+            return [
+                {
+                    k: r[k]
+                    for k in (
+                        "key", "scenario", "protocol", "replicate",
+                        "seed", "metrics",
+                    )
+                }
+                for r in records
+            ]
+
+        assert identity(sharded.records()) == identity(merged.records())
+        assert sharded.spec_hash == merged.spec_hash
+
+    def test_shards_then_merged_adds_nothing(
+        self, tiny_stream, tiny_shard_dir
+    ):
+        store = ResultStore.open(tiny_shard_dir)
+        assert store.ingest(tiny_stream) == 0
+
+    def test_mixing_campaigns_is_refused(self, tiny_stream, tmp_path):
+        other = tmp_path / "other.jsonl"
+        run_campaign(
+            CampaignSpec(
+                name="other-campaign",
+                base=TINY,
+                protocols=("glr",),
+                replicates=1,
+            ),
+            stream_path=other,
+        )
+        store = ResultStore.open(tiny_stream)
+        with pytest.raises(StreamError, match="spec"):
+            store.ingest(other)
+
+    def test_streamless_directory_is_refused(self, tmp_path):
+        with pytest.raises(StreamError):
+            ResultStore.open(tmp_path)
+
+    def test_missing_path_is_refused(self, tmp_path):
+        with pytest.raises(StreamError):
+            ResultStore.open(tmp_path / "nope.jsonl")
+
+    def test_empty_store_has_no_spec(self):
+        store = ResultStore()
+        assert store.spec_hash is None
+        with pytest.raises(StreamError, match="empty store"):
+            store.spec
+
+
+class TestBitIdentity:
+    def test_full_result_matches_campaign_aggregate(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        reference = campaign_result_from_stream(tiny_stream)
+        assert store.result().render() == reference.render()
+        assert store.result().metrics == reference.metrics
+
+    def test_filtered_result_is_the_exact_subset(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        reference = campaign_result_from_stream(tiny_stream)
+        query = store.select(protocol="glr")
+        filtered = query.result().metrics
+        expected = {
+            cell: runs
+            for cell, runs in reference.metrics.items()
+            if cell[1] == "glr"
+        }
+        assert filtered == expected
+
+    def test_summaries_match_the_full_aggregate(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        reference = campaign_result_from_stream(tiny_stream)
+        assert store.select().summaries() == reference.summaries()
+
+
+class TestSelect:
+    def test_adversary_filters(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        honest = store.select(adversary="none")
+        attacked = store.select(adversary="blackhole")
+        exact = store.select(adversary="blackhole:0.5")
+        assert {c.adversary for c in honest.cells} == {None}
+        assert attacked.cells == exact.cells
+        assert {c.adversary for c in exact.cells} == {"blackhole:0.5"}
+        assert len(honest.cells) + len(attacked.cells) == len(store.cells())
+
+    def test_protocol_name_and_alias(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        assert len(store.select(protocol="glr").cells) == 2
+        # Registry aliases resolve before matching.
+        assert store.select(protocol="EPIDEMIC").cells == store.select(
+            protocol="epidemic"
+        ).cells
+
+    def test_scenario_substring(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        slice_ = store.select(scenario="adversary=none")
+        assert {c.scenario_name for c in slice_.cells} == {
+            "store-tiny/adversary=none"
+        }
+
+    def test_mobility_default_label(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        assert len(store.select(mobility=DEFAULT_MOBILITY).cells) == len(
+            store.cells()
+        )
+        assert store.select(mobility="static").cells == ()
+
+    def test_unknown_filters_fail_loudly(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        with pytest.raises(ValueError, match="unknown protocol"):
+            store.select(protocol="warp_drive")
+        with pytest.raises(ValueError, match="unknown"):
+            store.select(mobility="teleport")
+        with pytest.raises(ValueError, match="unknown metric"):
+            store.select(metric="vibes")
+
+    def test_values_shape(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        values = store.select(metric="delivery_ratio").values()
+        assert set(values) == {cell.key for cell in store.cells()}
+        assert all(len(runs) == 2 for runs in values.values())
+        with pytest.raises(ValueError, match="no metric"):
+            store.select().values()
+
+    def test_queryable_metrics_exist_on_results(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        for metric in QUERYABLE_METRICS:
+            store.select().values(metric)
+
+
+class TestAxisTable:
+    def test_marginal_means_per_axis_value(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        query = store.select()
+        values, series = axis_table(
+            query.cells, query.metrics_by_cell(),
+            "adversary", "delivery_ratio",
+        )
+        assert [str(v) for v in values] == ["none", "blackhole:0.5"]
+        assert set(series) == {"glr", "epidemic"}
+        for means in series.values():
+            assert len(means) == 2
+            assert all(m is None or 0.0 <= m <= 1.0 for m in means)
+
+    def test_unknown_axis_yields_empty_table(self, tiny_stream):
+        store = ResultStore.open(tiny_stream)
+        query = store.select()
+        values, series = axis_table(
+            query.cells, query.metrics_by_cell(), "radius", "delivery_ratio"
+        )
+        assert values == []
+        assert all(means == [] for means in series.values())

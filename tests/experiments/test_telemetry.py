@@ -60,6 +60,10 @@ class TestEventSchema:
         "shard_summary": {"requeues": 1, "recorded": 4, "state": "done"},
         "heartbeat": {"reason": "task-done"},
         "adversary": {"specs": ["blackhole:0.2", "location_lying:0.3"]},
+        "report": {
+            "format": "markdown", "out": "report.md",
+            "cells": 4, "records": 8,
+        },
     }
 
     def test_payload_fixture_covers_every_type(self):
